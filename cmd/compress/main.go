@@ -1,0 +1,91 @@
+// Command compress runs the compression Markov chain M or the distributed
+// amoebot Algorithm A from the command line and reports compression metrics.
+//
+// Usage:
+//
+//	compress -n 100 -lambda 4 -iters 5000000 -snapshots 5 -render
+//	compress -n 100 -lambda 4 -distributed -crash 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sops"
+)
+
+func main() {
+	var (
+		n           = flag.Int("n", 100, "number of particles")
+		lambda      = flag.Float64("lambda", 4, "bias parameter λ (>2+√2 compresses, <2.17 expands)")
+		iters       = flag.Uint64("iters", 0, "iterations/activations (default 200·n²)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		start       = flag.String("start", "line", "starting shape: line|spiral|random|tree")
+		distributed = flag.Bool("distributed", false, "run the distributed amoebot Algorithm A")
+		workers     = flag.Int("workers", 0, "drive the distributed run with this many concurrent goroutines")
+		crash       = flag.Float64("crash", 0, "fraction of particles to crash-fail (distributed only)")
+		snapshots   = flag.Int("snapshots", 5, "number of equally spaced snapshots to print")
+		render      = flag.Bool("render", true, "print the final configuration")
+		svgPath     = flag.String("svg", "", "write the final configuration as SVG to this file")
+	)
+	flag.Parse()
+
+	opts := sops.Options{
+		N:           *n,
+		Lambda:      *lambda,
+		Iterations:  *iters,
+		Seed:        *seed,
+		Start:       sops.StartShape(*start),
+		Distributed: *distributed,
+	}
+	if *crash > 0 {
+		opts.CrashFraction = *crash
+	}
+	if *workers > 1 {
+		opts.Workers = *workers
+	}
+	total := opts.Iterations
+	if total == 0 {
+		total = 200 * uint64(*n) * uint64(*n)
+	}
+	if *snapshots > 0 {
+		opts.SnapshotEvery = total / uint64(*snapshots)
+	}
+
+	res, err := sops.Compress(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compress:", err)
+		os.Exit(1)
+	}
+
+	mode := "sequential chain M"
+	if *distributed {
+		mode = "distributed algorithm A"
+	}
+	fmt.Printf("# %s: n=%d λ=%.3g start=%s seed=%d\n", mode, *n, *lambda, *start, *seed)
+	fmt.Printf("# pmin=%d pmax=%d compression for λ>%.4f, expansion for λ<%.4f\n",
+		sops.PMin(*n), sops.PMax(*n), sops.CompressionThreshold(), sops.ExpansionThreshold())
+	if len(res.Snapshots) > 0 {
+		fmt.Printf("%12s %10s %8s %8s %9s\n", "iteration", "perimeter", "alpha", "beta", "holefree")
+		for _, s := range res.Snapshots {
+			fmt.Printf("%12d %10d %8.3f %8.3f %9v\n", s.Iteration, s.Perimeter, s.Alpha, s.Beta, s.HoleFree)
+		}
+	}
+	fmt.Printf("final: iterations=%d moves=%d perimeter=%d edges=%d triangles=%d α=%.3f β=%.3f",
+		res.Iterations, res.Moves, res.Perimeter, res.Edges, res.Triangles, res.Alpha, res.Beta)
+	if *distributed {
+		fmt.Printf(" rounds=%d crashed=%d", res.Rounds, len(res.Crashed))
+	}
+	fmt.Println()
+	if *render {
+		fmt.Println(res.Rendering)
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(res.SVG()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "compress: writing svg:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+}

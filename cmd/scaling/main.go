@@ -1,0 +1,86 @@
+// Command scaling measures iterations-to-compression as a function of the
+// particle count and fits the power law behind the §3.7 conjecture: the
+// paper observes that doubling n gives roughly a 10× increase in iterations
+// (exponent log₂10 ≈ 3.32) and conjectures the true rate is between n³ and
+// n⁴. Runs execute in parallel with per-size replication.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"sops/internal/chain"
+	"sops/internal/config"
+	"sops/internal/harness"
+	"sops/internal/metrics"
+	"sops/internal/stats"
+)
+
+func main() {
+	var (
+		sizes   = flag.String("sizes", "16,32,64,128", "comma-separated particle counts")
+		alpha   = flag.Float64("alpha", 1.8, "compression target α")
+		lambda  = flag.Float64("lambda", 4, "bias λ")
+		reps    = flag.Int("reps", 5, "repetitions per size")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		capIter = flag.Uint64("cap", 0, "iteration cap per run (default 400·n³)")
+		workers = flag.Int("workers", 8, "parallel workers")
+	)
+	flag.Parse()
+
+	var ns []float64
+	for _, tok := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 2 {
+			fmt.Fprintln(os.Stderr, "scaling: bad size:", tok)
+			os.Exit(1)
+		}
+		ns = append(ns, float64(v))
+	}
+
+	summaries := harness.Sweep(ns, *reps, *workers, *seed, func(task harness.Task) (harness.Metrics, error) {
+		n := int(task.Point)
+		cap := *capIter
+		if cap == 0 {
+			cap = 400 * uint64(n) * uint64(n) * uint64(n)
+		}
+		c, err := chain.New(config.Line(n), *lambda, task.Seed)
+		if err != nil {
+			return nil, err
+		}
+		target := int(*alpha * float64(metrics.PMin(n)))
+		done := c.RunUntil(cap, uint64(n*n/4+1), func(c *chain.Chain) bool {
+			return c.Perimeter() <= target
+		})
+		if c.Perimeter() > target {
+			return nil, fmt.Errorf("hit cap without compressing (n=%d)", n)
+		}
+		return harness.Metrics{"iters": float64(done)}, nil
+	})
+
+	fmt.Printf("# iterations to reach α=%.2f at λ=%.2f from a line (reps=%d)\n", *alpha, *lambda, *reps)
+	fmt.Printf("%8s %14s %14s %10s\n", "n", "mean iters", "ci95", "samples")
+	var xs, ys []float64
+	for _, s := range summaries {
+		if s.Failures > 0 {
+			fmt.Printf("# %d runs at n=%v hit the cap and are excluded\n", s.Failures, s.Point)
+		}
+		it, ok := s.ByMetric["iters"]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%8.0f %14.0f %14.0f %10d\n", s.Point, it.Mean, it.CI95(), it.N)
+		xs = append(xs, s.Point)
+		ys = append(ys, it.Mean)
+	}
+	if len(xs) >= 2 {
+		fit := stats.FitPower(xs, ys)
+		fmt.Printf("# power fit: iterations ≈ %.3g · n^%.2f (R²=%.3f)\n",
+			math.Exp(fit.LogC), fit.Exponent, fit.R2)
+		fmt.Println("# paper conjecture: exponent between 3 and 4 (~3.32 for 10× per doubling)")
+	}
+}

@@ -1,0 +1,23 @@
+// Package sops (Self-Organizing Particle Systems) is a Go implementation of
+// the compression algorithm for programmable matter from:
+//
+//	Sarah Cannon, Joshua J. Daymude, Dana Randall, Andréa W. Richa.
+//	"A Markov Chain Algorithm for Compression in Self-Organizing Particle
+//	Systems." PODC 2016 (journal version, 2019).
+//
+// Particles occupy vertices of the triangular lattice and move through
+// expansions and contractions, each running the same fully local,
+// asynchronous algorithm with one bit of persistent memory. A bias
+// parameter λ controls how strongly particles favor having neighbors: the
+// system provably compresses (perimeter within a constant of optimal) for
+// λ > 2+√2 ≈ 3.41 and provably expands for λ < 2.17 — favoring neighbors
+// (λ > 1) alone is not enough.
+//
+// This root package is the high-level facade: Compress runs either the
+// sequential Markov chain M or the distributed amoebot Algorithm A and
+// reports compression metrics and snapshots. The substrates live under
+// internal/ (lattice geometry, configurations, the chain, the amoebot
+// world and scheduler, exact enumeration, self-avoiding walks, and the
+// benchmark machinery); see DESIGN.md for the full inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package sops

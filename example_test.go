@@ -1,0 +1,37 @@
+package sops_test
+
+import (
+	"fmt"
+
+	"sops"
+)
+
+// ExampleCompress runs a small deterministic compression and prints the
+// headline metric.
+func ExampleCompress() {
+	res, err := sops.Compress(sops.Options{
+		N:          19, // one full hexagon's worth of particles
+		Lambda:     8,
+		Iterations: 400000,
+		Seed:       11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("particles: %d\n", res.N)
+	fmt.Printf("optimal perimeter: %d\n", sops.PMin(res.N))
+	fmt.Printf("compressed to within 2x of optimal: %v\n", res.Alpha <= 2)
+	// Output:
+	// particles: 19
+	// optimal perimeter: 12
+	// compressed to within 2x of optimal: true
+}
+
+// ExampleCompressionThreshold shows the two proven phase boundaries.
+func ExampleCompressionThreshold() {
+	fmt.Printf("compression proven above λ = %.4f\n", sops.CompressionThreshold())
+	fmt.Printf("expansion proven below λ = %.4f\n", sops.ExpansionThreshold())
+	// Output:
+	// compression proven above λ = 3.4142
+	// expansion proven below λ = 2.1720
+}

@@ -1,0 +1,35 @@
+// Quickstart: compress 50 particles starting from a line with bias λ = 4
+// (above the proven compression threshold 2+√2 ≈ 3.41) and print progress.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sops"
+)
+
+func main() {
+	const n = 50
+	res, err := sops.Compress(sops.Options{
+		N:             n,
+		Lambda:        4,
+		Iterations:    1_000_000,
+		Seed:          42,
+		SnapshotEvery: 200_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("compressing %d particles at λ=4 (threshold %.3f)\n\n", n, sops.CompressionThreshold())
+	fmt.Printf("%12s %10s %7s\n", "iteration", "perimeter", "alpha")
+	for _, s := range res.Snapshots {
+		fmt.Printf("%12d %10d %7.3f\n", s.Iteration, s.Perimeter, s.Alpha)
+	}
+	fmt.Printf("\nfinal: perimeter %d (optimal %d, α = %.3f), %d moves\n\n",
+		res.Perimeter, sops.PMin(n), res.Alpha, res.Moves)
+	fmt.Println(res.Rendering)
+}

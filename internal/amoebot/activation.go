@@ -1,0 +1,121 @@
+package amoebot
+
+import (
+	"math/rand/v2"
+
+	"sops/internal/lattice"
+	"sops/internal/move"
+)
+
+// Protocol is the algorithm each particle runs upon activation. Activations
+// are atomic: the protocol observes and mutates the world only through the
+// Activation's local API, matching the amoebot model's constant-size-memory,
+// neighbors-only constraints.
+type Protocol interface {
+	Activate(a *Activation)
+}
+
+// Activation is the window a particle gets into the world during one atomic
+// activation. Every method inspects or affects only the activating
+// particle's ≤10-node neighborhood.
+type Activation struct {
+	w   *World
+	p   *Particle
+	rng *rand.Rand
+}
+
+// Expanded reports whether the activating particle is expanded.
+func (a *Activation) Expanded() bool { return a.p.Expanded() }
+
+// Flag returns the particle's one-bit persistent memory.
+func (a *Activation) Flag() bool { return a.p.flag }
+
+// SetFlag writes the particle's one-bit persistent memory.
+func (a *Activation) SetFlag(v bool) { a.p.flag = v }
+
+// RandDir returns a uniformly random lattice direction.
+func (a *Activation) RandDir() lattice.Dir { return lattice.Dir(a.rng.IntN(lattice.NumDirs)) }
+
+// RandFloat returns a uniform q ∈ [0, 1).
+func (a *Activation) RandFloat() float64 { return a.rng.Float64() }
+
+// OccupiedAt reports whether the node adjacent to the particle's tail in
+// direction d holds any particle (head or tail).
+func (a *Activation) OccupiedAt(d lattice.Dir) bool {
+	return a.w.occupied(a.p.tail.Neighbor(d))
+}
+
+// HasExpandedNeighborAtTail reports whether any particle adjacent to the
+// tail node is expanded (other than the activating particle itself).
+func (a *Activation) HasExpandedNeighborAtTail() bool {
+	return a.w.hasExpandedNeighbor(a.p.tail, a.p.id)
+}
+
+// HasExpandedNeighborAtHead reports whether any particle adjacent to the
+// head node is expanded (other than the activating particle itself).
+func (a *Activation) HasExpandedNeighborAtHead() bool {
+	return a.w.hasExpandedNeighbor(a.p.head, a.p.id)
+}
+
+// Expand moves the particle's head into the adjacent node in direction d.
+// It reports false (and does nothing) if the particle is already expanded or
+// the node is occupied.
+func (a *Activation) Expand(d lattice.Dir) bool {
+	if a.p.Expanded() || a.w.occupied(a.p.tail.Neighbor(d)) {
+		return false
+	}
+	a.w.expand(a.p, d)
+	return true
+}
+
+// TailDegree returns e = |N*(ℓ)|: particles adjacent to the tail node,
+// counting expanded neighbors as contracted at their tails (heads excluded)
+// and never counting the particle itself.
+func (a *Activation) TailDegree() int {
+	n := 0
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		if a.w.tailAt(a.p.tail.Neighbor(d), a.p.id) {
+			n++
+		}
+	}
+	return n
+}
+
+// HeadDegree returns e′ = |N*(ℓ′)|: the neighbors the particle would have
+// if it contracted to its head node, under the same N* convention.
+func (a *Activation) HeadDegree() int {
+	n := 0
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		if a.w.tailAt(a.p.head.Neighbor(d), a.p.id) {
+			n++
+		}
+	}
+	return n
+}
+
+// SatisfiesMoveProperties reports whether the expanded particle's tail ℓ and
+// head ℓ′ satisfy Property 1 or Property 2 with respect to N*(·)
+// (Algorithm A, step 11, condition (2)). The check reads only the ten nodes
+// surrounding the pair.
+func (a *Activation) SatisfiesMoveProperties() bool {
+	d, ok := a.p.tail.DirTo(a.p.head)
+	if !ok {
+		return false
+	}
+	v := tailView{w: a.w, excl: a.p.id}
+	return move.Property1(v, a.p.tail, d) || move.Property2(v, a.p.tail, d)
+}
+
+// ContractToHead completes the particle's relocation.
+func (a *Activation) ContractToHead() {
+	if a.p.Expanded() {
+		a.w.contractToHead(a.p)
+	}
+}
+
+// ContractToTail withdraws the particle's head, aborting the relocation.
+func (a *Activation) ContractToTail() {
+	if a.p.Expanded() {
+		a.w.contractToTail(a.p)
+	}
+}

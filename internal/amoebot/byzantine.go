@@ -1,0 +1,53 @@
+package amoebot
+
+// Mux routes each particle to its own protocol, with a default for
+// unlisted particles. It models heterogeneous systems — in particular the
+// Byzantine-failure discussion of §3.3, where a fraction of particles
+// deviate arbitrarily from Algorithm A while the healthy majority keeps
+// compressing.
+type Mux struct {
+	// Default runs for particles without an override.
+	Default Protocol
+	// Overrides maps particle ids to their protocols.
+	Overrides map[ParticleID]Protocol
+}
+
+// Activate dispatches to the particle's protocol.
+func (m *Mux) Activate(a *Activation) {
+	if p, ok := m.Overrides[a.p.id]; ok {
+		p.Activate(a)
+		return
+	}
+	m.Default.Activate(a)
+}
+
+// Stubborn is the adversarial behavior the paper speculates about in §3.3:
+// the particle expands away from the system when it can and then refuses to
+// ever contract, squatting on two nodes. Because communication is limited
+// to reading flags, a stubborn particle cannot corrupt healthy neighbors —
+// it merely freezes its own neighborhood (neighbors adjacent to an expanded
+// particle decline to expand), acting as a slightly larger fixed point.
+type Stubborn struct{}
+
+// Activate expands once if possible and otherwise does nothing.
+func (Stubborn) Activate(a *Activation) {
+	if a.Expanded() {
+		return // never contract: squat forever
+	}
+	if a.HasExpandedNeighborAtTail() {
+		return
+	}
+	d := a.RandDir()
+	if !a.OccupiedAt(d) {
+		a.Expand(d)
+		a.SetFlag(false)
+	}
+}
+
+// Inert does nothing on activation: behaviorally identical to a crashed
+// particle but still consuming activations (useful to compare crash
+// semantics against scheduler-level crashes).
+type Inert struct{}
+
+// Activate does nothing.
+func (Inert) Activate(*Activation) {}

@@ -1,0 +1,85 @@
+package amoebot
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/metrics"
+)
+
+// TestByzantineStubbornCompression reproduces the §3.3 speculation: a small
+// fraction of Byzantine particles that expand and refuse to contract cannot
+// prevent the healthy particles from compressing; they act as fixed points.
+func TestByzantineStubbornCompression(t *testing.T) {
+	n := 40
+	w, err := NewWorld(config.Line(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversary turns Byzantine mid-run: stubborn squatters in a
+	// perfectly straight line would pin it open indefinitely (they freeze
+	// their immediate neighborhoods), so the interesting regime — matching
+	// the §3.3 discussion — is a partly folded system with a few hostile
+	// fixed points.
+	mux := &Mux{Default: MustNewCompression(6), Overrides: map[ParticleID]Protocol{}}
+	s := NewPoissonScheduler(w, mux, 21)
+	s.RunActivations(500_000)
+	mux.Overrides[10] = Stubborn{}
+	mux.Overrides[30] = Stubborn{}
+	s.RunActivations(1_200_000)
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := w.Config()
+	if !cfg.Connected() {
+		t.Fatal("Byzantine particles disconnected the system")
+	}
+	if p := cfg.Perimeter(); p >= metrics.PMax(n)*2/3 {
+		t.Errorf("perimeter %d: healthy particles failed to compress around stubborn ones", p)
+	}
+	// The stubborn particles must still be expanded or contracted in place —
+	// and must never have completed a relocation after their first squat.
+	for _, id := range []ParticleID{10, 30} {
+		if w.Particle(id).Crashed() {
+			t.Errorf("stubborn particle %d wrongly marked crashed", id)
+		}
+	}
+}
+
+// TestInertEquivalentToCrash: a world where every particle is inert makes
+// no moves, like a fully crashed world, but still counts activations.
+func TestInertEquivalentToCrash(t *testing.T) {
+	w, _ := NewWorld(config.Line(10))
+	s := NewUniformScheduler(w, Inert{}, 4)
+	s.RunActivations(1000)
+	if w.Moves() != 0 {
+		t.Error("inert particles must not move")
+	}
+	if w.Activations() != 1000 {
+		t.Errorf("activations = %d, want 1000", w.Activations())
+	}
+	if w.Rounds() == 0 {
+		t.Error("rounds should still complete")
+	}
+}
+
+// TestMuxDispatch: overrides receive their own protocol, others the
+// default.
+func TestMuxDispatch(t *testing.T) {
+	w, _ := NewWorld(config.Line(3))
+	hits := map[ParticleID]string{}
+	mux := &Mux{
+		Default: protocolFunc(func(a *Activation) { hits[a.p.id] = "default" }),
+		Overrides: map[ParticleID]Protocol{
+			1: protocolFunc(func(a *Activation) { hits[a.p.id] = "override" }),
+		},
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for id := ParticleID(0); id < 3; id++ {
+		w.activate(id, mux, rng)
+	}
+	if hits[0] != "default" || hits[1] != "override" || hits[2] != "default" {
+		t.Errorf("dispatch wrong: %v", hits)
+	}
+}

@@ -1,0 +1,87 @@
+package amoebot
+
+import (
+	"fmt"
+	"math"
+)
+
+// Compression is Algorithm A of §3.2: the fully distributed, local,
+// asynchronous translation of Markov chain M. Each particle runs the same
+// code; the only persistent state is the one-bit flag, making the algorithm
+// nearly oblivious (§3.3).
+type Compression struct {
+	lambda float64
+	// lamPow caches λ^k for k ∈ [−5, 5] at index k+5.
+	lamPow [11]float64
+}
+
+// NewCompression returns the compression protocol with bias λ > 0. The paper
+// analyzes λ > 2+√2 for compression and λ < 2.17 for expansion; any positive
+// bias is a valid input.
+func NewCompression(lambda float64) (*Compression, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("amoebot: bias λ must be a positive finite number, got %v", lambda)
+	}
+	c := &Compression{lambda: lambda}
+	for k := -5; k <= 5; k++ {
+		c.lamPow[k+5] = math.Pow(lambda, float64(k))
+	}
+	return c, nil
+}
+
+// MustNewCompression is NewCompression but panics on error.
+func MustNewCompression(lambda float64) *Compression {
+	c, err := NewCompression(lambda)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Lambda returns the bias parameter.
+func (c *Compression) Lambda() float64 { return c.lambda }
+
+// Activate runs one atomic activation of Algorithm A.
+func (c *Compression) Activate(a *Activation) {
+	if !a.Expanded() {
+		// Steps 1–7: contracted phase.
+		d := a.RandDir()
+		if a.OccupiedAt(d) || a.HasExpandedNeighborAtTail() {
+			return
+		}
+		if !a.Expand(d) {
+			return
+		}
+		// Step 5–7: the flag records whether this particle moved first in
+		// its neighborhood; a False flag forces contracting back later.
+		if !a.HasExpandedNeighborAtTail() && !a.HasExpandedNeighborAtHead() {
+			a.SetFlag(true)
+		} else {
+			a.SetFlag(false)
+		}
+		return
+	}
+	// Steps 8–13: expanded phase.
+	q := a.RandFloat()
+	e := a.TailDegree()
+	ep := a.HeadDegree()
+	ok := e != 5 &&
+		a.SatisfiesMoveProperties() &&
+		q < c.lamPow[clampExp(ep-e)+5] &&
+		a.Flag()
+	if ok {
+		a.ContractToHead()
+	} else {
+		a.ContractToTail()
+	}
+}
+
+func clampExp(k int) int {
+	if k < -5 {
+		return -5
+	}
+	if k > 5 {
+		return 5
+	}
+	return k
+}

@@ -1,0 +1,61 @@
+package amoebot_test
+
+import (
+	"fmt"
+
+	"sops/internal/amoebot"
+	"sops/internal/config"
+)
+
+// ExampleNewPoissonScheduler runs the distributed compression algorithm on
+// a small line and reports the resulting perimeter drop.
+func ExampleNewPoissonScheduler() {
+	w, err := amoebot.NewWorld(config.Line(20))
+	if err != nil {
+		panic(err)
+	}
+	s := amoebot.NewPoissonScheduler(w, amoebot.MustNewCompression(6), 42)
+	start := w.Config().Perimeter()
+	s.RunActivations(400000)
+	end := w.Config().Perimeter()
+	fmt.Printf("started at pmax=%d\n", start)
+	fmt.Printf("compressed below half: %v\n", end < start/2)
+	fmt.Printf("still connected: %v\n", w.Config().Connected())
+	// Output:
+	// started at pmax=38
+	// compressed below half: true
+	// still connected: true
+}
+
+// ExampleProtocol shows how to run a custom protocol on the amoebot
+// substrate: a "random walker" rule with no bias, legal but aimless.
+func ExampleProtocol() {
+	walker := protocolFunc(func(a *amoebot.Activation) {
+		if a.Expanded() {
+			// Complete every move unconditionally: pure exploration. Note
+			// this rule ignores the paper's Properties, so it may
+			// disconnect the system — it exists to show the API, not to
+			// compress.
+			a.ContractToHead()
+			return
+		}
+		if d := a.RandDir(); !a.OccupiedAt(d) {
+			a.Expand(d)
+		}
+	})
+	w, err := amoebot.NewWorld(config.Line(5))
+	if err != nil {
+		panic(err)
+	}
+	s := amoebot.NewUniformScheduler(w, walker, 7)
+	s.RunActivations(100)
+	fmt.Printf("particles: %d\n", w.Config().N())
+	fmt.Printf("some moves happened: %v\n", w.Moves() > 0)
+	// Output:
+	// particles: 5
+	// some moves happened: true
+}
+
+type protocolFunc func(*amoebot.Activation)
+
+func (f protocolFunc) Activate(a *amoebot.Activation) { f(a) }

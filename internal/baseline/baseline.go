@@ -1,0 +1,224 @@
+// Package baseline implements a leader-based deterministic hexagon
+// formation algorithm in the spirit of the shape-formation line of work the
+// paper contrasts itself with (§1.3, [19, 20]): a designated leader seeds a
+// hexagonal spiral and every other particle crawls along the surface of the
+// structure to dock at the next spiral slot.
+//
+// The baseline trades away everything the stochastic approach provides — it
+// needs a leader (single point of failure), per-particle routing state, and
+// it is not self-stabilizing — but it reaches the exactly minimal perimeter.
+// The benchmark harness compares its move counts and final compression
+// against Algorithm A's.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+)
+
+// Result reports a baseline run.
+type Result struct {
+	// Final is the assembled configuration (a hexagonal spiral around the
+	// leader).
+	Final *config.Config
+	// Moves is the total number of single-node steps particles performed
+	// while crawling to their docks.
+	Moves int
+	// Relocations is the number of particles that had to move.
+	Relocations int
+}
+
+// Run assembles σ0 into the minimum-perimeter spiral hexagon around a
+// leader particle. The leader is the particle closest to the centroid. It
+// returns an error only on invalid input or if routing stalls (which would
+// indicate a bug, not a property of the input).
+func Run(sigma0 *config.Config) (*Result, error) {
+	if sigma0.N() == 0 {
+		return nil, fmt.Errorf("baseline: empty configuration")
+	}
+	if !sigma0.Connected() {
+		return nil, fmt.Errorf("baseline: configuration must be connected")
+	}
+	cur := sigma0.Clone()
+	n := cur.N()
+	leader := pickLeader(cur)
+	targets := lattice.Spiral(leader, n)
+	targetSet := make(map[lattice.Point]int, n) // point → slot index
+	for i, t := range targets {
+		targetSet[t] = i
+	}
+	res := &Result{}
+	for slot := 0; slot < n; slot++ {
+		t := targets[slot]
+		if cur.Has(t) {
+			continue
+		}
+		candidates := movableCandidates(cur, leader, targetSet, slot)
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("baseline: no movable particle for slot %d", slot)
+		}
+		routed := false
+		for _, p := range candidates {
+			// A slot enclosed by a hole is only reachable by a particle on
+			// that hole's boundary, so candidates are tried in order until
+			// one has a surface route.
+			path, ok := surfacePath(cur, p, t)
+			if !ok {
+				continue
+			}
+			cur.Remove(p)
+			cur.Add(t)
+			res.Moves += len(path)
+			res.Relocations++
+			routed = true
+			break
+		}
+		if !routed {
+			return nil, fmt.Errorf("baseline: no surface path to slot %d at %v", slot, t)
+		}
+	}
+	res.Final = cur
+	return res, nil
+}
+
+// pickLeader returns the particle closest to the centroid of the
+// configuration (ties broken by point order).
+func pickLeader(c *config.Config) lattice.Point {
+	pts := c.Points()
+	var sx, sy int
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := len(pts)
+	best := pts[0]
+	bestD := -1
+	for _, p := range pts {
+		// Distance to centroid in n-scaled coordinates avoids fractions.
+		dx, dy := n*p.X-sx, n*p.Y-sy
+		d := dx*dx + dy*dy + (dx+dy)*(dx+dy)
+		if bestD == -1 || d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// movableCandidates lists particles eligible to relocate into the given
+// slot — non-leader, not a cut vertex, not already docked on a finished
+// slot (< slot) — ordered farthest-from-leader first, peeling the structure
+// from the outside in the common case.
+func movableCandidates(c *config.Config, leader lattice.Point, targetSet map[lattice.Point]int, slot int) []lattice.Point {
+	var out []lattice.Point
+	for _, p := range c.Points() {
+		if p == leader {
+			continue
+		}
+		if idx, onTarget := targetSet[p]; onTarget && idx < slot {
+			continue // already docked
+		}
+		if isCut(c, p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := leader.Dist(out[i]), leader.Dist(out[j])
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Less(out[j])
+	})
+	return out
+}
+
+// isCut reports whether removing p disconnects the configuration.
+func isCut(c *config.Config, p lattice.Point) bool {
+	if c.N() <= 2 {
+		return false
+	}
+	var start lattice.Point
+	found := false
+	for _, q := range c.Points() {
+		if q != p {
+			start = q
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	seen := map[lattice.Point]bool{start: true}
+	stack := []lattice.Point{start}
+	count := 1
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			r := q.Neighbor(d)
+			if r == p || !c.Has(r) || seen[r] {
+				continue
+			}
+			seen[r] = true
+			count++
+			stack = append(stack, r)
+		}
+	}
+	return count != c.N()-1
+}
+
+// surfacePath finds a shortest path for the particle at src to the empty
+// node dst, crawling through empty nodes that stay adjacent to the
+// remaining structure (the particle never detaches, mirroring how shape
+// formation algorithms route particles along the surface). src is treated
+// as removed during routing.
+func surfacePath(c *config.Config, src, dst lattice.Point) ([]lattice.Point, bool) {
+	allowed := func(p lattice.Point) bool {
+		if c.Has(p) && p != src {
+			return false
+		}
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			q := p.Neighbor(d)
+			if q != src && c.Has(q) {
+				return true
+			}
+		}
+		return false
+	}
+	if !allowed(dst) {
+		return nil, false
+	}
+	type qe struct {
+		p lattice.Point
+	}
+	prev := map[lattice.Point]lattice.Point{src: src}
+	queue := []qe{{src}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.p == dst {
+			var path []lattice.Point
+			for p := dst; p != src; p = prev[p] {
+				path = append(path, p)
+			}
+			// Reverse into src→dst order.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, true
+		}
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			q := cur.p.Neighbor(d)
+			if _, seen := prev[q]; seen || !allowed(q) {
+				continue
+			}
+			prev[q] = cur.p
+			queue = append(queue, qe{q})
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+	"sops/internal/metrics"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(config.New()); err == nil {
+		t.Error("empty configuration must error")
+	}
+	disc := config.New(lattice.Point{}, lattice.Point{X: 8})
+	if _, err := Run(disc); err == nil {
+		t.Error("disconnected configuration must error")
+	}
+}
+
+// TestHexagonFormationReachesPMin: the baseline must assemble the exactly
+// minimal-perimeter configuration from any connected start.
+func TestHexagonFormationReachesPMin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 20))
+	starts := []*config.Config{
+		config.Line(20),
+		config.Line(37),
+		config.Spiral(25), // already compressed: zero or few relocations
+		config.RandomConnected(rng, 30),
+		config.RandomTree(rng, 24),
+	}
+	for i, start := range starts {
+		res, err := Run(start)
+		if err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+		n := start.N()
+		if res.Final.N() != n {
+			t.Fatalf("start %d: particle count changed to %d", i, res.Final.N())
+		}
+		if !res.Final.Connected() {
+			t.Fatalf("start %d: final disconnected", i)
+		}
+		if got, want := res.Final.Perimeter(), metrics.PMin(n); got != want {
+			t.Errorf("start %d: final perimeter %d, want pmin %d", i, got, want)
+		}
+		if res.Final.HasHoles() {
+			t.Errorf("start %d: final has holes", i)
+		}
+	}
+}
+
+func TestAlreadyAssembled(t *testing.T) {
+	// A spiral around its own centroid needs no relocations at all… but the
+	// leader choice may shift the target spiral by a cell, so just require
+	// very few moves relative to a line start.
+	sp := config.Spiral(19)
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := Run(config.Line(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves > line.Moves {
+		t.Errorf("compact start took %d moves, line start %d — expected compact ≤ line",
+			res.Moves, line.Moves)
+	}
+}
+
+func TestSingleAndPair(t *testing.T) {
+	res, err := Run(config.New(lattice.Point{}))
+	if err != nil || res.Moves != 0 {
+		t.Errorf("single particle: %v moves=%d", err, res.Moves)
+	}
+	res, err = Run(config.Line(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Perimeter() != metrics.PMin(2) {
+		t.Errorf("pair perimeter %d", res.Final.Perimeter())
+	}
+}
+
+// TestMovesScaleReasonably: assembling a line of n particles takes O(n²)
+// surface steps; verify the count is positive and below a generous bound.
+func TestMovesScaleReasonably(t *testing.T) {
+	for _, n := range []int{10, 20, 40} {
+		res, err := Run(config.Line(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Moves <= 0 || res.Moves > 4*n*n {
+			t.Errorf("n=%d: %d moves outside (0, 4n²]", n, res.Moves)
+		}
+		if res.Relocations > n {
+			t.Errorf("n=%d: %d relocations exceed n", n, res.Relocations)
+		}
+	}
+}
+
+func TestIsCut(t *testing.T) {
+	line := config.Line(3)
+	if !isCut(line, lattice.Point{X: 1}) {
+		t.Error("middle of a 3-line is a cut vertex")
+	}
+	if isCut(line, lattice.Point{X: 0}) {
+		t.Error("end of a line is not a cut vertex")
+	}
+	tri := config.New(lattice.Point{}, lattice.Point{X: 1}, lattice.Point{Y: 1})
+	for _, p := range tri.Points() {
+		if isCut(tri, p) {
+			t.Errorf("triangle has no cut vertices, got %v", p)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package chain implements the compression Markov chain M of the paper
+// (§3.1, Algorithm M): a Metropolis chain over connected particle
+// configurations whose stationary distribution is π(σ) ∝ λ^e(σ) on the
+// hole-free state space Ω* (Lemma 3.13), equivalently π(σ) ∝ λ^{−p(σ)}
+// (Corollary 3.14). Each step selects a particle and a direction uniformly at
+// random, validates the move locally (degree ≠ 5 and Property 1 or 2), and
+// applies the Metropolis filter with bias λ.
+package chain
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+	"sops/internal/move"
+)
+
+// Option customizes a Chain; the variants are used by the ablation
+// experiments in EXPERIMENTS.md to demonstrate that each rule of M is
+// load-bearing.
+type Option func(*Chain)
+
+// WithoutDegreeGuard disables condition (1) of step 6 (e ≠ 5). Without it
+// the chain can create holes; used only for ablation experiments.
+func WithoutDegreeGuard() Option { return func(c *Chain) { c.degreeGuard = false } }
+
+// WithoutProperty1 disables Property 1 moves; used only for ablations.
+func WithoutProperty1() Option { return func(c *Chain) { c.prop1 = false } }
+
+// WithoutProperty2 disables Property 2 moves. Without them the hole-free
+// state space is not connected (Fig 3); used only for ablations.
+func WithoutProperty2() Option { return func(c *Chain) { c.prop2 = false } }
+
+// Chain is a running instance of Markov chain M. It is not safe for
+// concurrent use; run independent chains in separate goroutines instead.
+type Chain struct {
+	cfg    *config.Config
+	points []lattice.Point
+	index  map[lattice.Point]int
+	lambda float64
+	// lamPow caches λ^k for k ∈ [−5, 5] at index k+5: the only exponents a
+	// single move can produce, since degrees lie in [0, 5].
+	lamPow [11]float64
+	rng    *rand.Rand
+
+	degreeGuard  bool
+	prop1, prop2 bool
+
+	edges     int
+	steps     uint64
+	accepted  uint64
+	holesGone bool // set once a hole-free configuration has been observed
+}
+
+// New creates a chain over a copy of the starting configuration σ0, which
+// must be non-empty and connected, with bias parameter λ > 0. The chain is
+// deterministic given (σ0, λ, seed).
+func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*Chain, error) {
+	if sigma0.N() == 0 {
+		return nil, fmt.Errorf("chain: empty starting configuration")
+	}
+	if !sigma0.Connected() {
+		return nil, fmt.Errorf("chain: starting configuration must be connected")
+	}
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("chain: bias λ must be a positive finite number, got %v", lambda)
+	}
+	c := &Chain{
+		cfg:         sigma0.Clone(),
+		lambda:      lambda,
+		rng:         rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		degreeGuard: true,
+		prop1:       true,
+		prop2:       true,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.points = c.cfg.Points()
+	c.index = make(map[lattice.Point]int, len(c.points))
+	for i, p := range c.points {
+		c.index[p] = i
+	}
+	for k := -5; k <= 5; k++ {
+		c.lamPow[k+5] = math.Pow(lambda, float64(k))
+	}
+	c.edges = c.cfg.Edges()
+	c.holesGone = !c.cfg.HasHoles()
+	return c, nil
+}
+
+// MustNew is New but panics on error; convenient for examples and tests with
+// known-good inputs.
+func MustNew(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) *Chain {
+	c, err := New(sigma0, lambda, seed, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Lambda returns the bias parameter.
+func (c *Chain) Lambda() float64 { return c.lambda }
+
+// N returns the number of particles.
+func (c *Chain) N() int { return len(c.points) }
+
+// Steps returns the number of iterations executed (accepted or not).
+func (c *Chain) Steps() uint64 { return c.steps }
+
+// Accepted returns the number of iterations that moved a particle.
+func (c *Chain) Accepted() uint64 { return c.accepted }
+
+// Edges returns e(σ) for the current configuration, maintained incrementally.
+func (c *Chain) Edges() int { return c.edges }
+
+// Perimeter returns p(σ) for the current configuration. Once the chain has
+// reached the hole-free space Ω* it uses the identity p = 3n − 3 − e of
+// Lemma 2.3 (holes never reform, Lemma 3.2); before that it walks the
+// boundary.
+func (c *Chain) Perimeter() int {
+	if len(c.points) == 1 {
+		return 0
+	}
+	if c.holesGone {
+		return 3*len(c.points) - 3 - c.edges
+	}
+	if !c.cfg.HasHoles() {
+		c.holesGone = true
+		return 3*len(c.points) - 3 - c.edges
+	}
+	return c.cfg.Perimeter()
+}
+
+// HoleFree reports whether the chain has reached the hole-free space Ω*.
+func (c *Chain) HoleFree() bool {
+	if !c.holesGone && !c.cfg.HasHoles() {
+		c.holesGone = true
+	}
+	return c.holesGone
+}
+
+// Config returns a snapshot copy of the current configuration.
+func (c *Chain) Config() *config.Config { return c.cfg.Clone() }
+
+// view returns the live internal configuration for read-only use.
+func (c *Chain) view() *config.Config { return c.cfg }
+
+// Step executes one iteration of Markov chain M and reports whether a
+// particle moved.
+func (c *Chain) Step() bool {
+	c.steps++
+	i := c.rng.IntN(len(c.points))
+	l := c.points[i]
+	d := lattice.Dir(c.rng.IntN(lattice.NumDirs))
+	lp := l.Neighbor(d)
+	if c.cfg.Has(lp) {
+		return false
+	}
+	// Condition (1): the particle must have fewer than five neighbors, or a
+	// hole could form at ℓ.
+	e := c.cfg.Degree(l)
+	if c.degreeGuard && e == 5 {
+		return false
+	}
+	// Condition (2): Property 1 or Property 2 must hold for (ℓ, ℓ′).
+	ok := (c.prop1 && move.Property1(c.cfg, l, d)) || (c.prop2 && move.Property2(c.cfg, l, d))
+	if !ok {
+		return false
+	}
+	// Condition (3), the Metropolis filter: accept with probability
+	// min(1, λ^{e′−e}).
+	ep := c.cfg.DegreeExcluding(lp, l)
+	if thresh := c.lamPow[ep-e+5]; thresh < 1 {
+		if c.rng.Float64() >= thresh {
+			return false
+		}
+	}
+	c.cfg.Move(l, lp)
+	c.points[i] = lp
+	delete(c.index, l)
+	c.index[lp] = i
+	c.edges += ep - e
+	c.accepted++
+	return true
+}
+
+// Run executes n iterations and returns the number of accepted moves.
+func (c *Chain) Run(n uint64) uint64 {
+	var acc uint64
+	for k := uint64(0); k < n; k++ {
+		if c.Step() {
+			acc++
+		}
+	}
+	return acc
+}
+
+// RunUntil executes up to max iterations, invoking check every interval
+// iterations; it stops early when check returns true. It returns the number
+// of iterations executed.
+func (c *Chain) RunUntil(max, interval uint64, check func(*Chain) bool) uint64 {
+	if interval == 0 {
+		interval = 1
+	}
+	var done uint64
+	for done < max {
+		batch := interval
+		if done+batch > max {
+			batch = max - done
+		}
+		c.Run(batch)
+		done += batch
+		if check(c) {
+			return done
+		}
+	}
+	return done
+}

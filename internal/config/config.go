@@ -1,0 +1,257 @@
+// Package config represents particle system configurations on the triangular
+// lattice and computes the geometric quantities the paper's analysis is built
+// on: induced edges e(σ), triangles t(σ), the boundary-walk perimeter p(σ)
+// (all boundaries, cut edges counted twice, exactly as defined in §2.2 of the
+// paper), hole detection, and connectivity.
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sops/internal/lattice"
+)
+
+// Config is a set of occupied triangular-lattice vertices (the tails of
+// contracted particles). The zero value is an empty configuration ready to
+// use.
+type Config struct {
+	occ map[lattice.Point]struct{}
+}
+
+// New returns a configuration occupying exactly the given points. Duplicate
+// points are collapsed.
+func New(points ...lattice.Point) *Config {
+	c := &Config{occ: make(map[lattice.Point]struct{}, len(points))}
+	for _, p := range points {
+		c.occ[p] = struct{}{}
+	}
+	return c
+}
+
+// Clone returns a deep copy of c.
+func (c *Config) Clone() *Config {
+	out := &Config{occ: make(map[lattice.Point]struct{}, len(c.occ))}
+	for p := range c.occ {
+		out.occ[p] = struct{}{}
+	}
+	return out
+}
+
+// N returns the number of particles.
+func (c *Config) N() int { return len(c.occ) }
+
+// Has reports whether p is occupied.
+func (c *Config) Has(p lattice.Point) bool {
+	if c.occ == nil {
+		return false
+	}
+	_, ok := c.occ[p]
+	return ok
+}
+
+// Add occupies p. It reports whether p was previously unoccupied.
+func (c *Config) Add(p lattice.Point) bool {
+	if c.occ == nil {
+		c.occ = make(map[lattice.Point]struct{})
+	}
+	if _, ok := c.occ[p]; ok {
+		return false
+	}
+	c.occ[p] = struct{}{}
+	return true
+}
+
+// Remove vacates p. It reports whether p was occupied.
+func (c *Config) Remove(p lattice.Point) bool {
+	if _, ok := c.occ[p]; !ok {
+		return false
+	}
+	delete(c.occ, p)
+	return true
+}
+
+// Move relocates a particle from src to dst. It panics if src is unoccupied
+// or dst is occupied: callers are expected to have validated the move.
+func (c *Config) Move(src, dst lattice.Point) {
+	if !c.Has(src) {
+		panic(fmt.Sprintf("config: move from unoccupied %v", src))
+	}
+	if c.Has(dst) {
+		panic(fmt.Sprintf("config: move to occupied %v", dst))
+	}
+	delete(c.occ, src)
+	c.occ[dst] = struct{}{}
+}
+
+// Points returns the occupied points in deterministic (sorted) order.
+func (c *Config) Points() []lattice.Point {
+	out := make([]lattice.Point, 0, len(c.occ))
+	for p := range c.occ {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Degree returns the number of occupied neighbors of p. The point p itself
+// does not count, occupied or not.
+func (c *Config) Degree(p lattice.Point) int {
+	n := 0
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		if c.Has(p.Neighbor(d)) {
+			n++
+		}
+	}
+	return n
+}
+
+// DegreeExcluding returns the number of occupied neighbors of p, not counting
+// the location excl. This is how a particle occupying excl evaluates the
+// neighborhood it would have at p (its own tail must not count).
+func (c *Config) DegreeExcluding(p, excl lattice.Point) int {
+	n := 0
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		q := p.Neighbor(d)
+		if q != excl && c.Has(q) {
+			n++
+		}
+	}
+	return n
+}
+
+// Edges returns e(σ): the number of lattice edges with both endpoints
+// occupied. Each edge is counted once.
+func (c *Config) Edges() int {
+	n := 0
+	// Count each undirected edge once by only looking at directions 0..2.
+	for p := range c.occ {
+		for d := lattice.Dir(0); d < 3; d++ {
+			if c.Has(p.Neighbor(d)) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Triangles returns t(σ): the number of triangular lattice faces with all
+// three corners occupied.
+func (c *Config) Triangles() int {
+	n := 0
+	// Every unit face has exactly one corner p from which its other two
+	// corners lie in directions (u0,u1) or (u1,u2), so counting those two
+	// face shapes at every occupied point counts each triangle exactly once.
+	for p := range c.occ {
+		if c.Has(p.Neighbor(0)) && c.Has(p.Neighbor(1)) {
+			n++
+		}
+		if c.Has(p.Neighbor(1)) && c.Has(p.Neighbor(2)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Connected reports whether all particles are connected via configuration
+// edges. The empty configuration is considered connected.
+func (c *Config) Connected() bool {
+	if len(c.occ) <= 1 {
+		return true
+	}
+	var start lattice.Point
+	for p := range c.occ {
+		start = p
+		break
+	}
+	seen := map[lattice.Point]struct{}{start: {}}
+	stack := []lattice.Point{start}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			q := p.Neighbor(d)
+			if !c.Has(q) {
+				continue
+			}
+			if _, ok := seen[q]; ok {
+				continue
+			}
+			seen[q] = struct{}{}
+			stack = append(stack, q)
+		}
+	}
+	return len(seen) == len(c.occ)
+}
+
+// Bounds returns the inclusive axial bounding box of the configuration.
+// It panics on an empty configuration.
+func (c *Config) Bounds() (min, max lattice.Point) {
+	if len(c.occ) == 0 {
+		panic("config: Bounds of empty configuration")
+	}
+	first := true
+	for p := range c.occ {
+		if first {
+			min, max = p, p
+			first = false
+			continue
+		}
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+	}
+	return min, max
+}
+
+// Canonical returns a copy of c translated so its lowest-then-leftmost
+// occupied point sits at the origin. Two configurations are equal as particle
+// system configurations (per §2.2: arrangements up to translation) iff their
+// canonical forms have equal Keys.
+func (c *Config) Canonical() *Config {
+	pts := c.Points()
+	if len(pts) == 0 {
+		return New()
+	}
+	base := pts[0]
+	out := &Config{occ: make(map[lattice.Point]struct{}, len(pts))}
+	for _, p := range pts {
+		out.occ[p.Sub(base)] = struct{}{}
+	}
+	return out
+}
+
+// Key returns a deterministic string key for the canonical form of c,
+// suitable for use as a map key when working with configurations up to
+// translation.
+func (c *Config) Key() string {
+	pts := c.Points()
+	if len(pts) == 0 {
+		return ""
+	}
+	base := pts[0]
+	var b strings.Builder
+	b.Grow(len(pts) * 8)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%d,%d;", p.X-base.X, p.Y-base.Y)
+	}
+	return b.String()
+}
+
+// Equal reports whether c and o occupy the same point sets up to translation.
+func (c *Config) Equal(o *Config) bool {
+	if c.N() != o.N() {
+		return false
+	}
+	return c.Key() == o.Key()
+}

@@ -1,0 +1,411 @@
+package config
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sops/internal/lattice"
+	"sops/internal/metrics"
+)
+
+func pt(x, y int) lattice.Point { return lattice.Point{X: x, Y: y} }
+
+func TestBasicSetOperations(t *testing.T) {
+	c := New()
+	if c.N() != 0 {
+		t.Fatalf("empty config N = %d", c.N())
+	}
+	if !c.Add(pt(0, 0)) {
+		t.Error("Add to empty should report true")
+	}
+	if c.Add(pt(0, 0)) {
+		t.Error("duplicate Add should report false")
+	}
+	if !c.Has(pt(0, 0)) {
+		t.Error("Has after Add")
+	}
+	if !c.Remove(pt(0, 0)) {
+		t.Error("Remove should report true")
+	}
+	if c.Remove(pt(0, 0)) {
+		t.Error("double Remove should report false")
+	}
+	var zero Config
+	if zero.Has(pt(1, 1)) {
+		t.Error("zero-value config should be empty")
+	}
+	zero.Add(pt(1, 1))
+	if !zero.Has(pt(1, 1)) {
+		t.Error("zero-value config should be usable")
+	}
+}
+
+func TestMovePanics(t *testing.T) {
+	c := New(pt(0, 0), pt(1, 0))
+	for _, tc := range []struct {
+		name     string
+		src, dst lattice.Point
+	}{
+		{"unoccupied source", pt(5, 5), pt(6, 5)},
+		{"occupied destination", pt(0, 0), pt(1, 0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c.Move(tc.src, tc.dst)
+		})
+	}
+}
+
+// knownShapes tabulates hand-computed values for small configurations.
+func knownShapes() []struct {
+	name      string
+	cfg       *Config
+	edges     int
+	triangles int
+	perimeter int
+	holes     int
+} {
+	ring6 := New(lattice.Ring(pt(0, 0), 1)...) // hexagon ring, empty center
+	return []struct {
+		name      string
+		cfg       *Config
+		edges     int
+		triangles int
+		perimeter int
+		holes     int
+	}{
+		{"single", New(pt(0, 0)), 0, 0, 0, 0},
+		{"pair", New(pt(0, 0), pt(1, 0)), 1, 0, 2, 0},
+		{"triangle", New(pt(0, 0), pt(1, 0), pt(0, 1)), 3, 1, 3, 0},
+		{"line3", Line(3), 2, 0, 4, 0},
+		{"line10", Line(10), 9, 0, 18, 0},
+		{"rhombus", New(pt(0, 0), pt(1, 0), pt(0, 1), pt(1, 1)), 5, 2, 4, 0},
+		{"hexagon7", Hexagon(1), 12, 6, 6, 0},
+		{"ring6", ring6, 6, 0, 12, 1},
+		{"hexagon19", Hexagon(2), 42, 24, 12, 0},
+	}
+}
+
+func TestKnownShapeGeometry(t *testing.T) {
+	for _, s := range knownShapes() {
+		t.Run(s.name, func(t *testing.T) {
+			if got := s.cfg.Edges(); got != s.edges {
+				t.Errorf("Edges = %d, want %d", got, s.edges)
+			}
+			if got := s.cfg.Triangles(); got != s.triangles {
+				t.Errorf("Triangles = %d, want %d", got, s.triangles)
+			}
+			if got := s.cfg.Perimeter(); got != s.perimeter {
+				t.Errorf("Perimeter = %d, want %d", got, s.perimeter)
+			}
+			if got := s.cfg.HoleCount(); got != s.holes {
+				t.Errorf("HoleCount = %d, want %d", got, s.holes)
+			}
+			if !s.cfg.Connected() {
+				t.Error("shape should be connected")
+			}
+		})
+	}
+}
+
+// TestPerimeterIdentities verifies Lemmas 2.3 and 2.4: for connected
+// hole-free configurations, e = 3n − p − 3 and t = 2n − p − 2.
+func TestPerimeterIdentities(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	check := func(name string, c *Config) {
+		t.Helper()
+		if c.HasHoles() {
+			return
+		}
+		n, e, tri, p := c.N(), c.Edges(), c.Triangles(), c.Perimeter()
+		if e != 3*n-p-3 {
+			t.Errorf("%s: e=%d but 3n−p−3=%d (n=%d p=%d)", name, e, 3*n-p-3, n, p)
+		}
+		if tri != 2*n-p-2 {
+			t.Errorf("%s: t=%d but 2n−p−2=%d (n=%d p=%d)", name, tri, 2*n-p-2, n, p)
+		}
+	}
+	for _, s := range knownShapes() {
+		if s.cfg.N() >= 2 {
+			check(s.name, s.cfg)
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.IntN(60)
+		check("randomTree", RandomTree(rng, n))
+		c := RandomConnected(rng, n)
+		check("randomConnected", c)
+	}
+}
+
+// TestLemma21PerimeterLowerBound verifies p(σ) ≥ √n for connected
+// configurations with n ≥ 2 (Lemma 2.1), including ones with holes.
+func TestLemma21PerimeterLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(80)
+		c := RandomConnected(rng, n)
+		p := c.Perimeter()
+		if p*p < c.N() {
+			t.Errorf("perimeter %d below √n for n=%d", p, c.N())
+		}
+	}
+}
+
+// TestBoundaryArcIdentities verifies the exterior-angle counts from the
+// proofs of Lemmas 2.3 and 4.3: an external boundary of length p carries
+// exactly 2p+6 interface arcs, and a hole boundary of length p carries 2p−6.
+// The external-arc identity is exactly the hexagonal-dual statement
+// p(Aσ) = 2k + 6 of Lemma 4.3 (Fig 9).
+func TestBoundaryArcIdentities(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 3))
+	check := func(name string, c *Config) {
+		t.Helper()
+		for _, b := range c.Boundaries() {
+			want := 2*b.Length + 6
+			if !b.External {
+				want = 2*b.Length - 6
+			}
+			if b.Arcs != want {
+				t.Errorf("%s: boundary (ext=%v, len=%d) has %d arcs, want %d",
+					name, b.External, b.Length, b.Arcs, want)
+			}
+		}
+	}
+	for _, s := range knownShapes() {
+		check(s.name, s.cfg)
+	}
+	for trial := 0; trial < 50; trial++ {
+		check("random", RandomConnected(rng, 2+rng.IntN(70)))
+	}
+}
+
+// TestHoleDetectorsAgree cross-checks the two independent hole algorithms:
+// boundary-cycle decomposition vs flood fill.
+func TestHoleDetectorsAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 13))
+	countComponents := func(cells []lattice.Point) int {
+		set := make(map[lattice.Point]bool, len(cells))
+		for _, p := range cells {
+			set[p] = true
+		}
+		comps := 0
+		for _, p := range cells {
+			if !set[p] {
+				continue
+			}
+			comps++
+			stack := []lattice.Point{p}
+			set[p] = false
+			for len(stack) > 0 {
+				q := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+					r := q.Neighbor(d)
+					if set[r] {
+						set[r] = false
+						stack = append(stack, r)
+					}
+				}
+			}
+		}
+		return comps
+	}
+	for trial := 0; trial < 80; trial++ {
+		c := RandomConnected(rng, 2+rng.IntN(60))
+		holeCells := c.HoleCells()
+		wantHoles := countComponents(holeCells)
+		if got := c.HoleCount(); got != wantHoles {
+			t.Fatalf("HoleCount=%d but flood fill finds %d hole components (n=%d)",
+				got, wantHoles, c.N())
+		}
+		if c.HasHoles() != (len(holeCells) > 0) {
+			t.Fatalf("HasHoles disagrees with flood fill")
+		}
+		// Exactly one external boundary for a connected configuration.
+		ext := 0
+		for _, b := range c.Boundaries() {
+			if b.External {
+				ext++
+			}
+		}
+		if ext != 1 {
+			t.Fatalf("found %d external boundaries, want 1", ext)
+		}
+	}
+}
+
+// TestMultiHoleShape builds a configuration with two separate holes and a
+// cut edge, exercising doubled-edge perimeter counting.
+func TestMultiHoleShape(t *testing.T) {
+	// Two hexagon rings sharing no vertex, joined by a path: each ring has
+	// an enclosed empty center.
+	var pts []lattice.Point
+	pts = append(pts, lattice.Ring(pt(0, 0), 1)...)
+	pts = append(pts, lattice.Ring(pt(10, 0), 1)...)
+	// Connect (1,0) ... (9,0): ring1 contains (1,0); ring2 contains (9,0).
+	for x := 2; x <= 8; x++ {
+		pts = append(pts, pt(x, 0))
+	}
+	c := New(pts...)
+	if !c.Connected() {
+		t.Fatal("shape should be connected")
+	}
+	if got := c.HoleCount(); got != 2 {
+		t.Fatalf("HoleCount = %d, want 2", got)
+	}
+	// n = 6+6+7 = 19 particles, e = 6+6+8 = 20 edges. The bridge is a tree
+	// segment: each of its 8 edges is a cut edge and appears twice on the
+	// external boundary.
+	if c.N() != 19 || c.Edges() != 20 {
+		t.Fatalf("n=%d e=%d, want 19, 20", c.N(), c.Edges())
+	}
+	bs := c.Boundaries()
+	if len(bs) != 3 {
+		t.Fatalf("boundaries = %d, want 3", len(bs))
+	}
+	// External boundary: each hexagon ring contributes 5 of its 6 edges...
+	// simpler: verify total via the hole-aware Euler-style relation by
+	// explicit expectation. External walk: around ring1 (5 edges not
+	// counting where the bridge attaches... the walk enters the bridge),
+	// bridge edges twice: 2*8=16, plus 6 ring edges each side = 6+6, minus
+	// overlaps: the attachment vertices are ring vertices. Hand count: 28.
+	if got := bs[0].Length; !bs[0].External || got != 28 {
+		t.Fatalf("external boundary length = %d (external=%v), want 28", got, bs[0].External)
+	}
+	if bs[1].Length != 6 || bs[2].Length != 6 {
+		t.Fatalf("hole boundaries = %d, %d, want 6, 6", bs[1].Length, bs[2].Length)
+	}
+	if c.Perimeter() != 40 {
+		t.Fatalf("perimeter = %d, want 40", c.Perimeter())
+	}
+}
+
+func TestSpiralAchievesPMin(t *testing.T) {
+	for n := 1; n <= 400; n++ {
+		c := Spiral(n)
+		if got, want := c.Perimeter(), metrics.PMin(n); got != want {
+			t.Fatalf("Spiral(%d) perimeter = %d, want pmin = %d", n, got, want)
+		}
+		if got, want := c.Edges(), metrics.MaxEdges(n); got != want {
+			t.Fatalf("Spiral(%d) edges = %d, want e_max = %d", n, got, want)
+		}
+	}
+}
+
+func TestLineIsMaximallyExpanded(t *testing.T) {
+	for n := 2; n <= 50; n++ {
+		c := Line(n)
+		if got, want := c.Perimeter(), metrics.PMax(n); got != want {
+			t.Fatalf("Line(%d) perimeter = %d, want pmax = %d", n, got, want)
+		}
+	}
+}
+
+func TestRandomTreeIsMaximallyExpanded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(40)
+		c := RandomTree(rng, n)
+		if c.N() != n {
+			t.Fatalf("RandomTree has %d particles, want %d", c.N(), n)
+		}
+		if !c.Connected() {
+			t.Fatal("RandomTree must be connected")
+		}
+		if got, want := c.Perimeter(), metrics.PMax(n); got != want {
+			t.Fatalf("RandomTree(%d) perimeter = %d, want %d", n, got, want)
+		}
+		if c.Triangles() != 0 {
+			t.Fatal("RandomTree must have no triangles")
+		}
+	}
+}
+
+func TestRandomConnectedProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(123, 456))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(100)
+		c := RandomConnected(rng, n)
+		if c.N() != n {
+			t.Fatalf("RandomConnected has %d particles, want %d", c.N(), n)
+		}
+		if !c.Connected() {
+			t.Fatal("RandomConnected must be connected")
+		}
+	}
+}
+
+func TestCanonicalAndEqual(t *testing.T) {
+	a := New(pt(0, 0), pt(1, 0), pt(0, 1))
+	b := New(pt(5, -3), pt(6, -3), pt(5, -2)) // same shape, translated
+	c := New(pt(0, 0), pt(1, 0), pt(1, 1))    // different shape
+	if !a.Equal(b) {
+		t.Error("translated copies should be Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different shapes should not be Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Error("translated copies should share a Key")
+	}
+	canon := b.Canonical()
+	if !canon.Has(pt(0, 0)) {
+		t.Error("canonical form should place its lowest-leftmost point at origin")
+	}
+	if !canon.Equal(b) {
+		t.Error("canonicalization should preserve Equal")
+	}
+}
+
+func TestDegreeExcluding(t *testing.T) {
+	c := New(pt(0, 0), pt(1, 0), pt(0, 1))
+	// Degree of the empty cell (1,1)... neighbors: (1,0)? (1,1)+u3=(0,1) ✓,
+	// (1,1)+u4=(1,0) ✓, (1,1)+u2=(0,2) ✗. So degree 2.
+	if got := c.Degree(pt(1, 1)); got != 2 {
+		t.Fatalf("Degree((1,1)) = %d, want 2", got)
+	}
+	if got := c.DegreeExcluding(pt(1, 1), pt(1, 0)); got != 1 {
+		t.Fatalf("DegreeExcluding((1,1), (1,0)) = %d, want 1", got)
+	}
+	if got := c.DegreeExcluding(pt(1, 1), pt(5, 5)); got != 2 {
+		t.Fatalf("DegreeExcluding with irrelevant exclusion = %d, want 2", got)
+	}
+}
+
+func TestDisconnectedConfig(t *testing.T) {
+	c := New(pt(0, 0), pt(5, 5))
+	if c.Connected() {
+		t.Error("far-apart particles should not be connected")
+	}
+}
+
+func TestPointsSortedAndCopied(t *testing.T) {
+	c := New(pt(3, 1), pt(0, 0), pt(-2, 4))
+	pts := c.Points()
+	for i := 1; i < len(pts); i++ {
+		if !pts[i-1].Less(pts[i]) {
+			t.Fatalf("Points not sorted: %v", pts)
+		}
+	}
+	pts[0] = pt(99, 99)
+	if c.Has(pt(99, 99)) {
+		t.Error("mutating Points() result must not affect the config")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(pt(0, 0), pt(1, 0))
+	b := a.Clone()
+	b.Add(pt(2, 0))
+	if a.Has(pt(2, 0)) {
+		t.Error("Clone must be independent")
+	}
+	if b.N() != 3 || a.N() != 2 {
+		t.Errorf("unexpected sizes a=%d b=%d", a.N(), b.N())
+	}
+}

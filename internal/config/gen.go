@@ -1,0 +1,90 @@
+package config
+
+import (
+	"math/rand/v2"
+
+	"sops/internal/lattice"
+)
+
+// Line returns the straight-line configuration of n particles along the +X
+// axis: the paper's canonical maximum-perimeter starting state (Figs 2, 10).
+func Line(n int) *Config {
+	pts := make([]lattice.Point, n)
+	for i := range pts {
+		pts[i] = lattice.Point{X: i}
+	}
+	return New(pts...)
+}
+
+// Spiral returns the hexagonal-spiral configuration of n particles around the
+// origin, which achieves the minimum perimeter pmin(n) for every n.
+func Spiral(n int) *Config {
+	return New(lattice.Spiral(lattice.Point{}, n)...)
+}
+
+// Hexagon returns the filled hexagonal configuration of radius r, containing
+// 1 + 3r(r+1) particles.
+func Hexagon(r int) *Config {
+	return New(lattice.Disk(lattice.Point{}, r)...)
+}
+
+// RandomConnected grows a random connected configuration of n particles by
+// Eden growth: repeatedly occupying a uniformly random unoccupied cell
+// adjacent to the cluster. The result is connected and may contain holes.
+func RandomConnected(rng *rand.Rand, n int) *Config {
+	c := New(lattice.Point{})
+	if n <= 1 {
+		return c
+	}
+	frontier := make([]lattice.Point, 0, 6*n)
+	inFrontier := make(map[lattice.Point]bool, 6*n)
+	addFrontier := func(p lattice.Point) {
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			q := p.Neighbor(d)
+			if !c.Has(q) && !inFrontier[q] {
+				inFrontier[q] = true
+				frontier = append(frontier, q)
+			}
+		}
+	}
+	addFrontier(lattice.Point{})
+	for c.N() < n {
+		i := rng.IntN(len(frontier))
+		p := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		delete(inFrontier, p)
+		if c.Has(p) {
+			continue
+		}
+		c.Add(p)
+		addFrontier(p)
+	}
+	return c
+}
+
+// RandomTree grows a random connected hole-free tree-like configuration of n
+// particles: candidate cells are accepted only if occupying them keeps the
+// configuration an induced tree (the new cell touches exactly one occupied
+// cell). Trees achieve the maximum perimeter pmax(n) = 2n − 2.
+func RandomTree(rng *rand.Rand, n int) *Config {
+	c := New(lattice.Point{})
+	attempts := 0
+	for c.N() < n {
+		pts := c.Points()
+		p := pts[rng.IntN(len(pts))]
+		q := p.Neighbor(lattice.Dir(rng.IntN(lattice.NumDirs)))
+		attempts++
+		if attempts > 1000*n {
+			// Dead end (extremely unlikely); restart.
+			c = New(lattice.Point{})
+			attempts = 0
+			continue
+		}
+		if c.Has(q) || c.Degree(q) != 1 {
+			continue
+		}
+		c.Add(q)
+	}
+	return c
+}

@@ -1,0 +1,130 @@
+package config
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"sops/internal/lattice"
+)
+
+// genConfig builds a configuration from quick-generated raw coordinates,
+// folding them into a bounded window so adjacency actually occurs.
+func genConfig(raw []int8) *Config {
+	c := New()
+	for i := 0; i+1 < len(raw); i += 2 {
+		c.Add(lattice.Point{X: int(raw[i]) % 8, Y: int(raw[i+1]) % 8})
+	}
+	return c
+}
+
+// TestQuickEdgesMatchBruteForce: Edges() must equal the number of unordered
+// occupied pairs at lattice distance 1, for arbitrary point sets.
+func TestQuickEdgesMatchBruteForce(t *testing.T) {
+	f := func(raw []int8) bool {
+		c := genConfig(raw)
+		pts := c.Points()
+		brute := 0
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				if pts[i].Adjacent(pts[j]) {
+					brute++
+				}
+			}
+		}
+		return c.Edges() == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTrianglesMatchBruteForce: Triangles() must equal the number of
+// occupied mutually adjacent triples.
+func TestQuickTrianglesMatchBruteForce(t *testing.T) {
+	f := func(raw []int8) bool {
+		c := genConfig(raw)
+		pts := c.Points()
+		brute := 0
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				for k := j + 1; k < len(pts); k++ {
+					if pts[i].Adjacent(pts[j]) && pts[j].Adjacent(pts[k]) && pts[i].Adjacent(pts[k]) {
+						brute++
+					}
+				}
+			}
+		}
+		return c.Triangles() == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKeyTranslationInvariant: Key must be invariant under translation
+// and Canonical must not change the shape.
+func TestQuickKeyTranslationInvariant(t *testing.T) {
+	f := func(raw []int8, dx, dy int8) bool {
+		c := genConfig(raw)
+		if c.N() == 0 {
+			return true
+		}
+		moved := New()
+		for _, p := range c.Points() {
+			moved.Add(p.Add(lattice.Point{X: int(dx), Y: int(dy)}))
+		}
+		return c.Key() == moved.Key() && c.Equal(moved) && c.Canonical().Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDegreeMatchesNeighborScan: Degree equals a brute scan of the six
+// neighbors, and DegreeExcluding never exceeds Degree.
+func TestQuickDegreeMatchesNeighborScan(t *testing.T) {
+	f := func(raw []int8, px, py int8) bool {
+		c := genConfig(raw)
+		p := lattice.Point{X: int(px) % 8, Y: int(py) % 8}
+		brute := 0
+		for _, q := range p.Neighbors() {
+			if c.Has(q) {
+				brute++
+			}
+		}
+		if c.Degree(p) != brute {
+			return false
+		}
+		for _, q := range p.Neighbors() {
+			if c.DegreeExcluding(p, q) > c.Degree(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPerimeterDefinitionOnConnected: for random connected
+// configurations the boundary-walk perimeter satisfies the global
+// arc-count identity: the 6n − 2e interface arcs decompose as
+// (2·p_ext + 6) + Σ_holes (2·p_hole − 6), i.e. arcs = 2p + 6 − 6·holes.
+func TestQuickPerimeterDefinitionOnConnected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 14))
+	for trial := 0; trial < 120; trial++ {
+		c := RandomConnected(rng, 2+rng.IntN(50))
+		totalArcs := 0
+		for _, p := range c.Points() {
+			totalArcs += 6 - c.Degree(p)
+		}
+		holes := c.HoleCount()
+		p := c.Perimeter()
+		if totalArcs != 2*p+6-6*holes {
+			t.Fatalf("arcs=%d but 2p+6−6·holes=%d (p=%d holes=%d)",
+				totalArcs, 2*p+6-6*holes, p, holes)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package enumerate
+
+import (
+	"math"
+	"math/big"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+)
+
+// N50 is Jensen's exact count of connected hole-free configurations
+// (benzenoid hydrocarbons) with 50 particles, quoted in Lemma 5.5 of the
+// paper. Computing it requires a parallel transfer-matrix run far beyond
+// this repository's scope; the constant feeds the 2.17 expansion bound of
+// Lemma 5.6: (2·N50)^{1/100} ≈ 2.1716.
+var N50 = mustBig("2430068453031180290203185942420933")
+
+func mustBig(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		panic("enumerate: bad big integer literal " + s)
+	}
+	return v
+}
+
+// ExpansionBoundBase returns x = (2·N50)^{1/100} ≈ 2.1716, the expansion
+// threshold of Theorem 5.7.
+func ExpansionBoundBase() float64 {
+	two := new(big.Int).Lsh(N50, 1)
+	f, _ := new(big.Float).SetInt(two).Float64()
+	// 2·N50 ≈ 4.9e33 is representable to ~15 significant digits, far more
+	// precision than the 1/100th power needs.
+	return math.Pow(f, 1.0/100)
+}
+
+// ZigZagPaths generates the 2^{n−1} distinct n-particle zig-zag paths of
+// Lemma 5.1: starting from one particle, each subsequent particle is placed
+// either "up-right" or "down-right" of the previous. Every such path is a
+// connected hole-free configuration with the maximum perimeter 2n−2, and
+// distinct choice sequences give distinct configurations. The returned slice
+// has exactly 2^{n−1} entries; n is capped at 20 to bound memory.
+func ZigZagPaths(n int) []*config.Config {
+	if n < 1 || n > 20 {
+		panic("enumerate: ZigZagPaths requires 1 ≤ n ≤ 20")
+	}
+	total := 1 << (n - 1)
+	out := make([]*config.Config, 0, total)
+	// Direction u5 = (1,−1) is down-right and u0 = (1,0) serves as up-right
+	// relative to it: both strictly increase X, so the walk never revisits
+	// a column and is self-avoiding.
+	for mask := 0; mask < total; mask++ {
+		pts := make([]lattice.Point, n)
+		p := lattice.Point{}
+		pts[0] = p
+		for i := 1; i < n; i++ {
+			if mask>>(i-1)&1 == 1 {
+				p = p.Neighbor(0) // up-right
+			} else {
+				p = p.Neighbor(5) // down-right
+			}
+			pts[i] = p
+		}
+		out = append(out, config.New(pts...))
+	}
+	return out
+}
+
+// AttachmentConfigs implements the iterative construction of Lemma 5.4
+// (Fig 12): starting from a single particle, repeat j times: pick one of the
+// 11 hole-free 3-particle configurations and attach it to the right of the
+// current configuration either below-right of the lowest rightmost particle
+// Q (its highest leftmost particle H going there) or above-right of the
+// highest rightmost particle P (its lowest leftmost particle L going there).
+// It returns the 22^j configurations of 1+3j particles so produced. The
+// paper's counting argument requires them to be pairwise distinct, which
+// TestLowerBoundGenerators verifies.
+func AttachmentConfigs(j int) []*config.Config {
+	if j < 0 || j > 3 {
+		panic("enumerate: AttachmentConfigs requires 0 ≤ j ≤ 3 (22^j configs)")
+	}
+	threes := All(3)
+	if len(threes) != 11 {
+		panic("enumerate: expected 11 three-particle configurations")
+	}
+	cur := []*config.Config{config.New(lattice.Point{})}
+	for it := 0; it < j; it++ {
+		next := make([]*config.Config, 0, len(cur)*22)
+		for _, c := range cur {
+			p, q := highestRightmost(c), lowestRightmost(c)
+			for _, t := range threes {
+				h, l := highestLeftmost(t), lowestLeftmost(t)
+				// Attachment 1: H lands below-right of Q (direction u5).
+				// The piece occupies columns X > Qx, and with H the highest
+				// cell of the piece's leftmost column while Q is the lowest
+				// cell of the base's rightmost column, the only lattice
+				// adjacency between base and piece is the pair Q–H.
+				next = append(next, translateOnto(c, t, h, q.Neighbor(5)))
+				// Attachment 2, mirrored: L lands right of P (direction
+				// u0); L is the lowest cell of the piece's leftmost column
+				// and P the highest of the base's rightmost column, so the
+				// only adjacency is P–L.
+				next = append(next, translateOnto(c, t, l, p.Neighbor(0)))
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// translateOnto returns base ∪ (piece translated so anchor lands on target).
+func translateOnto(base, piece *config.Config, anchor, target lattice.Point) *config.Config {
+	out := base.Clone()
+	delta := target.Sub(anchor)
+	for _, p := range piece.Points() {
+		out.Add(p.Add(delta))
+	}
+	return out
+}
+
+// Rightmost-extreme helpers. "Rightmost" maximizes X; ties are broken by Y
+// (highest = max Y, lowest = min Y). Leftmost symmetric.
+func highestRightmost(c *config.Config) lattice.Point {
+	return extreme(c, func(a, b lattice.Point) bool {
+		if a.X != b.X {
+			return a.X > b.X
+		}
+		return a.Y > b.Y
+	})
+}
+
+func lowestRightmost(c *config.Config) lattice.Point {
+	return extreme(c, func(a, b lattice.Point) bool {
+		if a.X != b.X {
+			return a.X > b.X
+		}
+		return a.Y < b.Y
+	})
+}
+
+func highestLeftmost(c *config.Config) lattice.Point {
+	return extreme(c, func(a, b lattice.Point) bool {
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y > b.Y
+	})
+}
+
+func lowestLeftmost(c *config.Config) lattice.Point {
+	return extreme(c, func(a, b lattice.Point) bool {
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+}
+
+func extreme(c *config.Config, better func(a, b lattice.Point) bool) lattice.Point {
+	pts := c.Points()
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if better(p, best) {
+			best = p
+		}
+	}
+	return best
+}

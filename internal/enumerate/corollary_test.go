@@ -1,0 +1,77 @@
+package enumerate
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCorollary315TriangleWeights verifies Corollary 3.15: the stationary
+// distribution can equivalently be written π(σ) ∝ λ^{t(σ)} over Ω*. We
+// recompute π with triangle weights by brute force and compare with the
+// edge-weight version of Lemma 3.13.
+func TestCorollary315TriangleWeights(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		lambda float64
+	}{
+		{4, 3}, {5, 0.8}, {6, 2}, {7, 5},
+	} {
+		s := ExactStationary(tc.n, tc.lambda)
+		logLam := math.Log(tc.lambda)
+		// Triangle-weight partition function.
+		logW := make([]float64, len(s.States))
+		maxLog := math.Inf(-1)
+		for i, c := range s.States {
+			logW[i] = float64(c.Triangles()) * logLam
+			if logW[i] > maxLog {
+				maxLog = logW[i]
+			}
+		}
+		var sum float64
+		for _, lw := range logW {
+			sum += math.Exp(lw - maxLog)
+		}
+		logZ := maxLog + math.Log(sum)
+		for i := range s.States {
+			pTri := math.Exp(logW[i] - logZ)
+			if math.Abs(pTri-s.Prob[i]) > 1e-12 {
+				t.Fatalf("n=%d λ=%v state %d: triangle-weight π=%v, edge-weight π=%v",
+					tc.n, tc.lambda, i, pTri, s.Prob[i])
+			}
+		}
+	}
+}
+
+// TestCorollary314PerimeterWeights does the same for Corollary 3.14:
+// π(σ) ∝ λ^{−p(σ)}.
+func TestCorollary314PerimeterWeights(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		lambda float64
+	}{
+		{5, 4}, {6, 1.3},
+	} {
+		s := ExactStationary(tc.n, tc.lambda)
+		logLam := math.Log(tc.lambda)
+		logW := make([]float64, len(s.States))
+		maxLog := math.Inf(-1)
+		for i, c := range s.States {
+			logW[i] = -float64(c.Perimeter()) * logLam
+			if logW[i] > maxLog {
+				maxLog = logW[i]
+			}
+		}
+		var sum float64
+		for _, lw := range logW {
+			sum += math.Exp(lw - maxLog)
+		}
+		logZ := maxLog + math.Log(sum)
+		for i := range s.States {
+			pPer := math.Exp(logW[i] - logZ)
+			if math.Abs(pPer-s.Prob[i]) > 1e-12 {
+				t.Fatalf("n=%d λ=%v state %d: perimeter-weight π=%v, edge-weight π=%v",
+					tc.n, tc.lambda, i, pPer, s.Prob[i])
+			}
+		}
+	}
+}

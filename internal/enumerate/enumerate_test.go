@@ -1,0 +1,292 @@
+package enumerate
+
+import (
+	"math"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/metrics"
+)
+
+// TestFixedPolyformCounts cross-validates the two independent enumeration
+// algorithms (materializing dedupe vs Redelmeier counting) and pins the
+// small known values: there are 3 two-particle and 11 three-particle
+// connected configurations up to translation (Fig 11 of the paper shows the
+// 11).
+func TestFixedPolyformCounts(t *testing.T) {
+	const maxN = 7
+	counts := Count(maxN)
+	want := []int64{0, 1, 3, 11, 44, 186, 814, 3652}
+	for n := 1; n <= maxN; n++ {
+		all := All(n)
+		if int64(len(all)) != counts[n] {
+			t.Errorf("n=%d: All yields %d configs, Count says %d", n, len(all), counts[n])
+		}
+		if counts[n] != want[n] {
+			t.Errorf("n=%d: Count = %d, want %d", n, counts[n], want[n])
+		}
+		// Every enumerated config must be connected, have n particles, and
+		// be in canonical position.
+		seen := map[string]bool{}
+		for _, c := range all {
+			if c.N() != n || !c.Connected() {
+				t.Fatalf("n=%d: invalid enumerated config %v", n, c.Points())
+			}
+			k := c.Key()
+			if seen[k] {
+				t.Fatalf("n=%d: duplicate config %s", n, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// TestEnumerateThreeParticles pins Fig 11: exactly 11 connected hole-free
+// configurations of 3 particles.
+func TestEnumerateThreeParticles(t *testing.T) {
+	all := AllHoleFree(3)
+	if len(all) != 11 {
+		t.Fatalf("hole-free 3-particle configs = %d, want 11", len(all))
+	}
+	// None of them can have holes at this size anyway.
+	if len(All(3)) != 11 {
+		t.Fatalf("3-particle configs = %d, want 11", len(All(3)))
+	}
+}
+
+// TestSmallestHoleAppearsAtSix verifies the smallest configuration with a
+// hole is the 6-ring: hole-free counts equal total counts up to n=5 and
+// differ by exactly one at n=6.
+func TestSmallestHoleAppearsAtSix(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		if len(All(n)) != len(AllHoleFree(n)) {
+			t.Errorf("n=%d: unexpected holey configuration", n)
+		}
+	}
+	all6, free6 := All(6), AllHoleFree(6)
+	if len(all6)-len(free6) != 1 {
+		t.Errorf("n=6: %d total vs %d hole-free, want difference 1 (the 6-ring)",
+			len(all6), len(free6))
+	}
+}
+
+// TestCensusExtremes: the census must span exactly [pmin, pmax] and the
+// pmax count must be at least the 2^{n−1} zig-zag paths of Lemma 5.1.
+func TestCensusExtremes(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		census := Census(n)
+		if len(census) == 0 {
+			t.Fatalf("n=%d: empty census", n)
+		}
+		lo, hi := census[0], census[len(census)-1]
+		if lo.Perimeter != metrics.PMin(n) {
+			t.Errorf("n=%d: min census perimeter %d, want pmin %d", n, lo.Perimeter, metrics.PMin(n))
+		}
+		if hi.Perimeter != metrics.PMax(n) {
+			t.Errorf("n=%d: max census perimeter %d, want pmax %d", n, hi.Perimeter, metrics.PMax(n))
+		}
+		if hi.Count < int64(1)<<(n-1) {
+			t.Errorf("n=%d: c_pmax = %d below the 2^{n−1} = %d zig-zag bound",
+				n, hi.Count, int64(1)<<(n-1))
+		}
+		var total int64
+		for _, row := range census {
+			total += row.Count
+		}
+		if total != int64(len(AllHoleFree(n))) {
+			t.Errorf("n=%d: census total %d != |Ω*| = %d", n, total, len(AllHoleFree(n)))
+		}
+	}
+}
+
+// TestPeierlsCountBound spot-checks Lemma 4.4 empirically at small n: the
+// number of configurations with perimeter k stays below ν^k for ν near the
+// connective-constant base 2+√2 (small n easily satisfies it; the lemma is
+// asymptotic but the trend must hold).
+func TestPeierlsCountBound(t *testing.T) {
+	nu := 2 + math.Sqrt2
+	for n := 2; n <= 8; n++ {
+		for _, row := range Census(n) {
+			bound := math.Pow(nu, float64(row.Perimeter))
+			if float64(row.Count) > bound {
+				t.Errorf("n=%d: c_%d = %d exceeds ν^k = %.1f", n, row.Perimeter, row.Count, bound)
+			}
+		}
+	}
+}
+
+func TestZigZagPaths(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		paths := ZigZagPaths(n)
+		if len(paths) != 1<<(n-1) {
+			t.Fatalf("n=%d: %d paths, want %d", n, len(paths), 1<<(n-1))
+		}
+		seen := map[string]bool{}
+		for _, c := range paths {
+			if c.N() != n || !c.Connected() {
+				t.Fatalf("n=%d: invalid path config", n)
+			}
+			if n >= 2 && c.Perimeter() != metrics.PMax(n) {
+				t.Fatalf("n=%d: path perimeter %d, want pmax %d", n, c.Perimeter(), metrics.PMax(n))
+			}
+			if c.HasHoles() {
+				t.Fatalf("n=%d: path has a hole", n)
+			}
+			k := c.Key()
+			if seen[k] {
+				t.Fatalf("n=%d: duplicate path %s — Lemma 5.1 requires distinctness", n, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// TestLowerBoundGenerators verifies the Lemma 5.4 attachment process
+// produces 22^j pairwise-distinct connected hole-free configurations of
+// 1+3j particles (Fig 12).
+func TestLowerBoundGenerators(t *testing.T) {
+	for j := 0; j <= 2; j++ {
+		configs := AttachmentConfigs(j)
+		want := 1
+		for i := 0; i < j; i++ {
+			want *= 22
+		}
+		if len(configs) != want {
+			t.Fatalf("j=%d: %d configs, want %d", j, len(configs), want)
+		}
+		seen := map[string]bool{}
+		for _, c := range configs {
+			if c.N() != 1+3*j {
+				t.Fatalf("j=%d: config with %d particles, want %d", j, c.N(), 1+3*j)
+			}
+			if !c.Connected() {
+				t.Fatalf("j=%d: disconnected attachment result", j)
+			}
+			if c.HasHoles() {
+				t.Fatalf("j=%d: attachment result has a hole", j)
+			}
+			k := c.Key()
+			if seen[k] {
+				t.Fatalf("j=%d: duplicate configuration — Lemma 5.4 requires distinctness", j)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// TestLemma54CountIsLowerBound checks 22^j ≤ |Ω*(1+3j)| directly against the
+// exact enumeration for j=1, 2 (n=4: 22 ≤ 44; n=7: 484 ≤ |Ω*(7)|).
+func TestLemma54CountIsLowerBound(t *testing.T) {
+	if got := len(AllHoleFree(4)); got < 22 {
+		t.Errorf("|Ω*(4)| = %d < 22", got)
+	}
+	if got := len(AllHoleFree(7)); got < 484 {
+		t.Errorf("|Ω*(7)| = %d < 484", got)
+	}
+}
+
+func TestExpansionBoundBase(t *testing.T) {
+	x := ExpansionBoundBase()
+	if x < 2.17 || x > 2.18 {
+		t.Errorf("(2·N50)^{1/100} = %v, want ≈2.1716 (Lemma 5.6)", x)
+	}
+}
+
+// TestExactStationary sanity-checks π: probabilities sum to 1; larger λ
+// yields smaller expected perimeter; λ=1 is uniform over Ω*.
+func TestExactStationary(t *testing.T) {
+	for _, n := range []int{3, 5, 6} {
+		prev := math.Inf(1)
+		for _, lambda := range []float64{0.5, 1, 2, 4, 8} {
+			s := ExactStationary(n, lambda)
+			var sum float64
+			for _, p := range s.Prob {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("n=%d λ=%v: probabilities sum to %v", n, lambda, sum)
+			}
+			ep := s.ExpectedPerimeter()
+			if ep > prev+1e-9 {
+				t.Errorf("n=%d: E[p] not monotone decreasing in λ: %v then %v", n, prev, ep)
+			}
+			prev = ep
+			// Lemma 2.3 in expectation: E[e] = 3n − E[p] − 3.
+			ee := s.ExpectedEdges()
+			if math.Abs(ee-(3*float64(n)-ep-3)) > 1e-9 {
+				t.Errorf("n=%d λ=%v: E[e]=%v violates Lemma 2.3 vs E[p]=%v", n, lambda, ee, ep)
+			}
+		}
+		// Uniform at λ=1.
+		s := ExactStationary(n, 1)
+		want := 1 / float64(len(s.States))
+		for i, p := range s.Prob {
+			if math.Abs(p-want) > 1e-12 {
+				t.Fatalf("n=%d λ=1: state %d has π=%v, want uniform %v", n, i, p, want)
+			}
+		}
+	}
+}
+
+// TestStationaryTailDecreasesWithLambda: the Theorem 4.5 tail
+// P(p ≥ α·pmin) must shrink as λ grows.
+func TestStationaryTailDecreasesWithLambda(t *testing.T) {
+	n := 7
+	k := int(1.5 * float64(metrics.PMin(n)))
+	prev := 1.1
+	for _, lambda := range []float64{1, 2, 4, 8, 16} {
+		tail := ExactStationary(n, lambda).TailProbPerimeterAtLeast(k)
+		if tail > prev+1e-12 {
+			t.Errorf("tail not decreasing: λ=%v gives %v after %v", lambda, tail, prev)
+		}
+		prev = tail
+	}
+}
+
+// TestTrivialZBound: ln Z ≥ e_max·ln λ (the Theorem 4.5 partition bound in
+// edge weights).
+func TestTrivialZBound(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		for _, lambda := range []float64{0.5, 1, 3, 6} {
+			s := ExactStationary(n, lambda)
+			if lb := LogZLowerBoundTrivial(n, lambda); s.LogZ < lb-1e-9 {
+				t.Errorf("n=%d λ=%v: ln Z = %v below trivial bound %v", n, lambda, s.LogZ, lb)
+			}
+		}
+	}
+}
+
+// TestAllHoleFreeMatchesFloodFill double-checks the hole filter using the
+// independent flood-fill detector.
+func TestAllHoleFreeMatchesFloodFill(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		for _, c := range AllHoleFree(n) {
+			if len(c.HoleCells()) != 0 {
+				t.Fatalf("n=%d: AllHoleFree returned a config with hole cells", n)
+			}
+		}
+	}
+}
+
+func TestAllPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	All(0)
+}
+
+var sinkConfigs []*config.Config
+
+func BenchmarkAllN8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkConfigs = All(8)
+	}
+}
+
+func BenchmarkCountN10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Count(10)
+	}
+}

@@ -1,0 +1,125 @@
+// Package harness orchestrates experiment sweeps: it fans replicated,
+// seeded runs out over a worker pool and aggregates their metrics. The
+// phase-diagram and scaling tools and several benchmarks are thin wrappers
+// around it.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sops/internal/stats"
+)
+
+// Task is one unit of work: a named sweep point with a replication index.
+// Run must be deterministic given the task (derive randomness from Seed).
+type Task struct {
+	// Point identifies the sweep coordinate (e.g. a λ value or a size n).
+	Point float64
+	// Rep is the replication index at this point.
+	Rep int
+	// Seed is the derived seed for this run.
+	Seed uint64
+}
+
+// Metrics is a bag of named measurements produced by one run.
+type Metrics map[string]float64
+
+// PointSummary aggregates all replications at one sweep point.
+type PointSummary struct {
+	Point float64
+	// ByMetric holds a summary per metric name.
+	ByMetric map[string]stats.Summary
+	// Failures counts runs that returned an error.
+	Failures int
+}
+
+// Sweep runs fn for every (point, rep) pair on `workers` goroutines and
+// aggregates per-point summaries, sorted by point. Seeds are derived
+// deterministically from baseSeed, the point index, and the rep, so a sweep
+// is reproducible end to end. Errors from fn are counted per point, not
+// fatal.
+func Sweep(points []float64, reps, workers int, baseSeed uint64, fn func(Task) (Metrics, error)) []PointSummary {
+	if reps < 1 {
+		reps = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct {
+		task     Task
+		pointIdx int
+	}
+	type result struct {
+		pointIdx int
+		metrics  Metrics
+		err      error
+	}
+	jobs := make(chan job, workers)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				m, err := fn(j.task)
+				results <- result{pointIdx: j.pointIdx, metrics: m, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i, p := range points {
+			for r := 0; r < reps; r++ {
+				jobs <- job{
+					pointIdx: i,
+					task: Task{
+						Point: p,
+						Rep:   r,
+						Seed:  baseSeed ^ (uint64(i+1) * 0x9e3779b97f4a7c15) ^ (uint64(r+1) * 0xbf58476d1ce4e5b9),
+					},
+				}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	samples := make([]map[string][]float64, len(points))
+	failures := make([]int, len(points))
+	for i := range samples {
+		samples[i] = map[string][]float64{}
+	}
+	for r := range results {
+		if r.err != nil {
+			failures[r.pointIdx]++
+			continue
+		}
+		for name, v := range r.metrics {
+			samples[r.pointIdx][name] = append(samples[r.pointIdx][name], v)
+		}
+	}
+
+	out := make([]PointSummary, len(points))
+	for i, p := range points {
+		ps := PointSummary{Point: p, ByMetric: map[string]stats.Summary{}, Failures: failures[i]}
+		for name, xs := range samples[i] {
+			ps.ByMetric[name] = stats.Summarize(xs)
+		}
+		out[i] = ps
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out
+}
+
+// Mean returns the mean of the named metric at this point, or an error if
+// the metric was never reported.
+func (p PointSummary) Mean(name string) (float64, error) {
+	s, ok := p.ByMetric[name]
+	if !ok {
+		return 0, fmt.Errorf("harness: metric %q not recorded at point %v", name, p.Point)
+	}
+	return s.Mean, nil
+}

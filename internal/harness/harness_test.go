@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepAggregation(t *testing.T) {
+	points := []float64{3, 1, 2}
+	var calls atomic.Int64
+	out := Sweep(points, 4, 3, 99, func(task Task) (Metrics, error) {
+		calls.Add(1)
+		return Metrics{
+			"double": 2 * task.Point,
+			"rep":    float64(task.Rep),
+		}, nil
+	})
+	if calls.Load() != 12 {
+		t.Fatalf("fn called %d times, want 12", calls.Load())
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d summaries", len(out))
+	}
+	// Sorted by point.
+	for i, want := range []float64{1, 2, 3} {
+		if out[i].Point != want {
+			t.Fatalf("summary %d point %v, want %v", i, out[i].Point, want)
+		}
+		mean, err := out[i].Mean("double")
+		if err != nil || mean != 2*want {
+			t.Errorf("point %v mean double = %v (%v)", want, mean, err)
+		}
+		s := out[i].ByMetric["rep"]
+		if s.N != 4 || s.Min != 0 || s.Max != 3 {
+			t.Errorf("point %v rep summary %+v", want, s)
+		}
+		if out[i].Failures != 0 {
+			t.Errorf("unexpected failures at %v", want)
+		}
+	}
+	if _, err := out[0].Mean("missing"); err == nil {
+		t.Error("missing metric should error")
+	}
+}
+
+func TestSweepSeedsDeterministicAndDistinct(t *testing.T) {
+	collect := func() map[string]uint64 {
+		seeds := map[string]uint64{}
+		var mu chan struct{} = make(chan struct{}, 1)
+		mu <- struct{}{}
+		Sweep([]float64{1, 2}, 3, 4, 7, func(task Task) (Metrics, error) {
+			<-mu
+			seeds[fmt.Sprintf("%v/%d", task.Point, task.Rep)] = task.Seed
+			mu <- struct{}{}
+			return Metrics{"x": 1}, nil
+		})
+		return seeds
+	}
+	a, b := collect(), collect()
+	if len(a) != 6 {
+		t.Fatalf("expected 6 distinct tasks, got %d", len(a))
+	}
+	seen := map[uint64]bool{}
+	for k, s := range a {
+		if b[k] != s {
+			t.Errorf("seed for %s not deterministic: %d vs %d", k, s, b[k])
+		}
+		if seen[s] {
+			t.Errorf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSweepCountsFailures(t *testing.T) {
+	out := Sweep([]float64{5}, 4, 2, 1, func(task Task) (Metrics, error) {
+		if task.Rep%2 == 0 {
+			return nil, fmt.Errorf("boom")
+		}
+		return Metrics{"ok": 1}, nil
+	})
+	if out[0].Failures != 2 {
+		t.Errorf("failures = %d, want 2", out[0].Failures)
+	}
+	if s := out[0].ByMetric["ok"]; s.N != 2 {
+		t.Errorf("ok samples = %d, want 2", s.N)
+	}
+}
+
+func TestSweepDegenerateArgs(t *testing.T) {
+	out := Sweep([]float64{1}, 0, 0, 0, func(task Task) (Metrics, error) {
+		return Metrics{"v": 9}, nil
+	})
+	if len(out) != 1 || out[0].ByMetric["v"].N != 1 {
+		t.Errorf("degenerate sweep wrong: %+v", out)
+	}
+}

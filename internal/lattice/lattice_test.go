@@ -1,0 +1,259 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirVecIdentities(t *testing.T) {
+	for d := Dir(0); d < NumDirs; d++ {
+		opp := d.Opposite().Vec()
+		v := d.Vec()
+		if v.X+opp.X != 0 || v.Y+opp.Y != 0 {
+			t.Errorf("u[%d] + u[%d+3] != 0: %v %v", d, d, v, opp)
+		}
+		sum := v.Add(d.CCW(2).Vec())
+		if sum != d.CCW(1).Vec() {
+			t.Errorf("u[%d] + u[%d+2] != u[%d+1]: got %v want %v", d, d, d, sum, d.CCW(1).Vec())
+		}
+	}
+}
+
+func TestDirRotations(t *testing.T) {
+	for d := Dir(0); d < NumDirs; d++ {
+		if d.CCW(6) != d {
+			t.Errorf("CCW(6) should be identity, got %v for %v", d.CCW(6), d)
+		}
+		if d.CCW(1).CW(1) != d {
+			t.Errorf("CCW then CW should be identity for %v", d)
+		}
+		if d.Opposite().Opposite() != d {
+			t.Errorf("double Opposite should be identity for %v", d)
+		}
+	}
+	if Dir(-1).norm() != 5 {
+		t.Errorf("norm(-1) = %v, want 5", Dir(-1).norm())
+	}
+}
+
+func TestNeighborsDistinctAndAdjacent(t *testing.T) {
+	p := Point{3, -2}
+	seen := map[Point]bool{}
+	for _, q := range p.Neighbors() {
+		if seen[q] {
+			t.Errorf("duplicate neighbor %v", q)
+		}
+		seen[q] = true
+		if !p.Adjacent(q) {
+			t.Errorf("%v should be adjacent to %v", p, q)
+		}
+		if p.Dist(q) != 1 {
+			t.Errorf("Dist(%v,%v) = %d, want 1", p, q, p.Dist(q))
+		}
+	}
+	if p.Adjacent(p) {
+		t.Error("point should not be adjacent to itself")
+	}
+	if p.Adjacent(Point{5, 5}) {
+		t.Error("far point reported adjacent")
+	}
+}
+
+func TestDirTo(t *testing.T) {
+	p := Point{0, 0}
+	for d := Dir(0); d < NumDirs; d++ {
+		got, ok := p.DirTo(p.Neighbor(d))
+		if !ok || got != d {
+			t.Errorf("DirTo(%v) = %v,%v want %v", p.Neighbor(d), got, ok, d)
+		}
+	}
+	if _, ok := p.DirTo(Point{2, 0}); ok {
+		t.Error("DirTo should fail for non-neighbor")
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	p := Point{1, 1}
+	for d := Dir(0); d < NumDirs; d++ {
+		q := p.Neighbor(d)
+		common := p.CommonNeighbors(d)
+		for _, c := range common {
+			if !c.Adjacent(p) || !c.Adjacent(q) {
+				t.Errorf("common neighbor %v of (%v,%v) not adjacent to both", c, p, q)
+			}
+		}
+		if common[0] == common[1] {
+			t.Errorf("common neighbors should be distinct for dir %v", d)
+		}
+		// Exhaustive check: no other shared neighbors exist.
+		count := 0
+		for _, a := range p.Neighbors() {
+			if a.Adjacent(q) {
+				count++
+			}
+		}
+		// a ranges over neighbors of p; those adjacent to q include the two
+		// commons only (q itself is not a neighbor of q).
+		if count != 2 {
+			t.Errorf("expected exactly 2 common neighbors, counted %d", count)
+		}
+	}
+}
+
+func TestDistMatchesBFS(t *testing.T) {
+	// Compare closed-form distance with BFS distance on a small patch.
+	origin := Point{0, 0}
+	dist := map[Point]int{origin: 0}
+	frontier := []Point{origin}
+	for r := 0; r < 5; r++ {
+		var next []Point
+		for _, p := range frontier {
+			for _, q := range p.Neighbors() {
+				if _, ok := dist[q]; !ok {
+					dist[q] = r + 1
+					next = append(next, q)
+				}
+			}
+		}
+		frontier = next
+	}
+	for p, d := range dist {
+		if got := origin.Dist(p); got != d {
+			t.Errorf("Dist(origin,%v) = %d, want %d", p, got, d)
+		}
+	}
+}
+
+func TestDistSymmetryAndTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Point{int(ax), int(ay)}
+		b := Point{int(bx), int(by)}
+		c := Point{int(cx), int(cy)}
+		if a.Dist(b) != b.Dist(a) {
+			return false
+		}
+		if a.Dist(b) < 0 {
+			return false
+		}
+		if (a.Dist(b) == 0) != (a == b) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclideanConsistency(t *testing.T) {
+	// All six neighbors must be at Euclidean distance exactly 1.
+	p := Point{-4, 7}
+	px, py := p.Euclidean()
+	for _, q := range p.Neighbors() {
+		qx, qy := q.Euclidean()
+		d := math.Hypot(qx-px, qy-py)
+		if math.Abs(d-1) > 1e-12 {
+			t.Errorf("Euclidean distance to neighbor %v = %v, want 1", q, d)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	center := Point{2, -1}
+	if got := Ring(center, 0); len(got) != 1 || got[0] != center {
+		t.Fatalf("Ring r=0: got %v", got)
+	}
+	for r := 1; r <= 5; r++ {
+		ring := Ring(center, r)
+		if len(ring) != 6*r {
+			t.Fatalf("Ring r=%d has %d points, want %d", r, len(ring), 6*r)
+		}
+		seen := map[Point]bool{}
+		for i, p := range ring {
+			if center.Dist(p) != r {
+				t.Errorf("ring point %v at distance %d, want %d", p, center.Dist(p), r)
+			}
+			if seen[p] {
+				t.Errorf("duplicate ring point %v", p)
+			}
+			seen[p] = true
+			// Consecutive ring points (cyclically) are lattice-adjacent.
+			next := ring[(i+1)%len(ring)]
+			if !p.Adjacent(next) {
+				t.Errorf("ring points %v and %v not adjacent", p, next)
+			}
+		}
+	}
+}
+
+func TestDisk(t *testing.T) {
+	center := Point{0, 0}
+	for r := 0; r <= 4; r++ {
+		disk := Disk(center, r)
+		want := 1 + 3*r*(r+1)
+		if len(disk) != want {
+			t.Errorf("Disk r=%d has %d points, want %d", r, len(disk), want)
+		}
+	}
+}
+
+func TestSpiralPrefixProperty(t *testing.T) {
+	// Spiral(n) must be a prefix of Spiral(n+1) and contain n distinct,
+	// connected points.
+	prev := []Point{}
+	for n := 1; n <= 40; n++ {
+		sp := Spiral(Point{0, 0}, n)
+		if len(sp) != n {
+			t.Fatalf("Spiral(%d) has %d points", n, len(sp))
+		}
+		for i, p := range prev {
+			if sp[i] != p {
+				t.Fatalf("Spiral(%d) not a prefix extension at %d", n, i)
+			}
+		}
+		// Each point after the first must be adjacent to an earlier point.
+		for i := 1; i < n; i++ {
+			ok := false
+			for j := 0; j < i; j++ {
+				if sp[i].Adjacent(sp[j]) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("Spiral(%d): point %d (%v) not adjacent to any earlier point", n, i, sp[i])
+			}
+		}
+		prev = sp
+	}
+}
+
+func TestFaceLeft(t *testing.T) {
+	p := Point{0, 0}
+	for d := Dir(0); d < NumDirs; d++ {
+		f := FaceLeft(p, d)
+		// The three corners must be pairwise adjacent (a unit triangle).
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if !f[i].Adjacent(f[j]) {
+					t.Errorf("face corners %v and %v not adjacent (dir %v)", f[i], f[j], d)
+				}
+			}
+		}
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	pts := Disk(Point{0, 0}, 2)
+	for _, a := range pts {
+		if a.Less(a) {
+			t.Errorf("Less must be irreflexive: %v", a)
+		}
+		for _, b := range pts {
+			if a != b && a.Less(b) == b.Less(a) {
+				t.Errorf("Less must be total: %v vs %v", a, b)
+			}
+		}
+	}
+}

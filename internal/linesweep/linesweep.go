@@ -1,0 +1,237 @@
+// Package linesweep certifies the constructive ergodicity results of §3.5
+// (Lemmas 3.3–3.7): from any connected configuration there exists a sequence
+// of valid Markov-chain moves ending in a straight line, eliminating holes
+// along the way.
+//
+// The paper proves existence with a sweep-line construction; this package
+// certifies the statement computationally: ToLine finds an explicit
+// valid-move sequence by guided best-first search over configurations, and
+// Verify replays a sequence move-by-move through the same validity predicate
+// Markov chain M uses (move.Valid), checking connectivity is never lost and
+// that the endpoint is a straight line. Every certificate is therefore
+// machine-checked evidence for Lemma 3.7 on that instance; the tests run it
+// across hundreds of random configurations, including ones that start with
+// holes.
+package linesweep
+
+import (
+	"container/heap"
+	"fmt"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+	"sops/internal/move"
+)
+
+// Move is one particle relocation.
+type Move struct {
+	From, To lattice.Point
+}
+
+// IsLine reports whether the configuration is a straight line segment along
+// one of the three lattice axes (or a single particle).
+func IsLine(c *config.Config) bool {
+	n := c.N()
+	if n <= 1 {
+		return n == 1
+	}
+	pts := c.Points()
+	// Candidate axes: u0 (rows), u1 (columns), u2 (anti-diagonals).
+	for _, d := range []lattice.Dir{0, 1, 2} {
+		first := pts[0]
+		// Find the minimal element along the axis: walk backwards.
+		start := first
+		for c.Has(start.Neighbor(d.Opposite())) {
+			start = start.Neighbor(d.Opposite())
+		}
+		ok := true
+		p := start
+		for i := 0; i < n; i++ {
+			if !c.Has(p) {
+				ok = false
+				break
+			}
+			p = p.Neighbor(d)
+		}
+		if ok && !c.Has(p) && countRun(c, start, d) == n {
+			return true
+		}
+	}
+	return false
+}
+
+func countRun(c *config.Config, start lattice.Point, d lattice.Dir) int {
+	n := 0
+	for p := start; c.Has(p); p = p.Neighbor(d) {
+		n++
+	}
+	return n
+}
+
+// potential scores how far a configuration is from being a single row
+// (direction u0): occupied-row count beyond one, vertical spread, and
+// horizontal fragmentation all add cost. Zero implies a single contiguous
+// row.
+func potential(c *config.Config) int {
+	pts := c.Points()
+	minY, maxY := pts[0].Y, pts[0].Y
+	rows := map[int]bool{}
+	for _, p := range pts {
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+		rows[p.Y] = true
+	}
+	cost := 0
+	for _, p := range pts {
+		cost += p.Y - minY // total height above the bottom row
+	}
+	cost += 4 * (len(rows) - 1) // distinct extra rows
+	// Fragmentation of the bottom row: count maximal runs.
+	runs := 0
+	for _, p := range pts {
+		if p.Y == minY && !c.Has(p.Neighbor(3)) { // u3 = left
+			runs++
+		}
+	}
+	cost += 6 * (runs - 1)
+	return cost
+}
+
+type node struct {
+	cfg   *config.Config
+	moves []Move
+	prio  int
+	index int
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].prio < h[j].prio }
+func (h nodeHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *nodeHeap) Push(x any) {
+	n := x.(*node)
+	n.index = len(*h)
+	*h = append(*h, n)
+}
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxExpansions caps explored states; 0 means a size-dependent default.
+	MaxExpansions int
+}
+
+// ToLine finds a sequence of valid moves transforming σ into a straight
+// line. It returns the move sequence (possibly empty if σ is already a
+// line). The search is greedy best-first on the flattening potential with a
+// visited set; it is exact evidence when it succeeds and inconclusive when
+// the expansion budget runs out, in which case an error is returned.
+func ToLine(sigma *config.Config, opts Options) ([]Move, error) {
+	if sigma.N() == 0 {
+		return nil, fmt.Errorf("linesweep: empty configuration")
+	}
+	if !sigma.Connected() {
+		return nil, fmt.Errorf("linesweep: configuration must be connected")
+	}
+	if IsLine(sigma) {
+		return nil, nil
+	}
+	maxExp := opts.MaxExpansions
+	if maxExp == 0 {
+		maxExp = 60000 + 25000*sigma.N()
+	}
+	// Search in the original coordinate frame so the recorded moves replay
+	// directly on σ; the visited set uses translation-invariant keys.
+	start := sigma.Clone()
+	visited := map[string]bool{start.Key(): true}
+	h := &nodeHeap{}
+	heap.Push(h, &node{cfg: start, prio: potential(start)})
+	for expansions := 0; h.Len() > 0 && expansions < maxExp; expansions++ {
+		cur := heap.Pop(h).(*node)
+		for _, l := range cur.cfg.Points() {
+			for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+				if !move.Valid(cur.cfg, l, d) {
+					continue
+				}
+				next := cur.cfg.Clone()
+				lp := l.Neighbor(d)
+				next.Move(l, lp)
+				key := next.Key()
+				if visited[key] {
+					continue
+				}
+				visited[key] = true
+				moves := make([]Move, len(cur.moves), len(cur.moves)+1)
+				copy(moves, cur.moves)
+				moves = append(moves, Move{From: l, To: lp})
+				if IsLine(next) {
+					return moves, nil
+				}
+				heap.Push(h, &node{
+					cfg:   next,
+					moves: moves,
+					// Greedy best-first with a small path-length term keeps
+					// certificates short without stalling on plateaus.
+					prio: 8*potential(next) + len(moves),
+				})
+			}
+		}
+	}
+	return nil, fmt.Errorf("linesweep: no certificate within %d expansions for n=%d", maxExp, sigma.N())
+}
+
+// Verify replays a move sequence from σ, checking every move against the
+// exact validity predicate of Markov chain M, that connectivity holds after
+// every step, and that the final configuration is a straight line. It
+// returns the final configuration.
+func Verify(sigma *config.Config, moves []Move) (*config.Config, error) {
+	c := sigma.Clone()
+	for i, mv := range moves {
+		d, ok := mv.From.DirTo(mv.To)
+		if !ok {
+			return nil, fmt.Errorf("move %d: %v→%v is not a lattice step", i, mv.From, mv.To)
+		}
+		if !c.Has(mv.From) {
+			return nil, fmt.Errorf("move %d: source %v unoccupied", i, mv.From)
+		}
+		if !move.Valid(c, mv.From, d) {
+			return nil, fmt.Errorf("move %d: %v→%v violates the chain's move conditions", i, mv.From, mv.To)
+		}
+		c.Move(mv.From, mv.To)
+		if !c.Connected() {
+			return nil, fmt.Errorf("move %d: configuration disconnected", i)
+		}
+	}
+	if !IsLine(c) {
+		return nil, fmt.Errorf("final configuration is not a straight line")
+	}
+	return c, nil
+}
+
+// Certify runs ToLine and Verify together: it produces a machine-checked
+// certificate that σ can reach a straight line through valid moves —
+// the computational content of Lemma 3.7 for this instance.
+func Certify(sigma *config.Config, opts Options) ([]Move, error) {
+	moves, err := ToLine(sigma, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := Verify(sigma, moves); err != nil {
+		return nil, fmt.Errorf("certificate failed verification: %w", err)
+	}
+	return moves, nil
+}

@@ -1,0 +1,181 @@
+package linesweep
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+)
+
+func TestIsLine(t *testing.T) {
+	if !IsLine(config.Line(5)) {
+		t.Error("horizontal line not recognized")
+	}
+	if !IsLine(config.New(lattice.Point{})) {
+		t.Error("single particle is a (degenerate) line")
+	}
+	// Column line (direction u1).
+	col := config.New(
+		lattice.Point{X: 0, Y: 0}, lattice.Point{X: 0, Y: 1}, lattice.Point{X: 0, Y: 2})
+	if !IsLine(col) {
+		t.Error("column line not recognized")
+	}
+	// Diagonal line (direction u2).
+	diag := config.New(
+		lattice.Point{X: 0, Y: 0}, lattice.Point{X: -1, Y: 1}, lattice.Point{X: -2, Y: 2})
+	if !IsLine(diag) {
+		t.Error("diagonal line not recognized")
+	}
+	// Zig-zag is not a line.
+	zig := config.New(
+		lattice.Point{X: 0, Y: 0}, lattice.Point{X: 1, Y: 0}, lattice.Point{X: 1, Y: 1})
+	if IsLine(zig) {
+		t.Error("bent path misidentified as line")
+	}
+	// Gapped row is not a line (and is disconnected anyway).
+	gap := config.New(lattice.Point{X: 0, Y: 0}, lattice.Point{X: 2, Y: 0})
+	if IsLine(gap) {
+		t.Error("gapped row misidentified as line")
+	}
+	if IsLine(config.Spiral(7)) {
+		t.Error("hexagon misidentified as line")
+	}
+}
+
+func TestToLineAlreadyLine(t *testing.T) {
+	moves, err := ToLine(config.Line(6), Options{})
+	if err != nil || len(moves) != 0 {
+		t.Errorf("line should need no moves: %v, %v", moves, err)
+	}
+}
+
+func TestToLineRejectsBadInput(t *testing.T) {
+	if _, err := ToLine(config.New(), Options{}); err == nil {
+		t.Error("empty configuration must error")
+	}
+	disc := config.New(lattice.Point{}, lattice.Point{X: 7})
+	if _, err := ToLine(disc, Options{}); err == nil {
+		t.Error("disconnected configuration must error")
+	}
+}
+
+// TestCertifySmallShapes: exact certificates for hand-picked shapes,
+// including the hexagon (maximally compressed) and the holed 6-ring.
+func TestCertifySmallShapes(t *testing.T) {
+	shapes := map[string]*config.Config{
+		"hexagon7":  config.Spiral(7),
+		"spiral9":   config.Spiral(9),
+		"rhombus":   config.New(lattice.Point{}, lattice.Point{X: 1}, lattice.Point{Y: 1}, lattice.Point{X: 1, Y: 1}),
+		"ring6hole": config.New(lattice.Ring(lattice.Point{}, 1)...),
+	}
+	for name, c := range shapes {
+		t.Run(name, func(t *testing.T) {
+			moves, err := Certify(c, Options{})
+			if err != nil {
+				t.Fatalf("no certificate: %v", err)
+			}
+			final, err := Verify(c, moves)
+			if err != nil {
+				t.Fatalf("verification: %v", err)
+			}
+			if final.N() != c.N() {
+				t.Fatalf("particle count changed")
+			}
+			if final.HasHoles() {
+				t.Fatal("final line has holes?!")
+			}
+		})
+	}
+}
+
+// TestCertifyRandomConfigs is the computational Lemma 3.7: random connected
+// configurations — some with holes — all admit verified move sequences to a
+// line.
+func TestCertifyRandomConfigs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 6))
+	solved, withHoles := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.IntN(13) // 4..16
+		c := config.RandomConnected(rng, n)
+		if c.HasHoles() {
+			withHoles++
+		}
+		moves, err := Certify(c, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+		if _, err := Verify(c, moves); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		solved++
+	}
+	if solved != 25 {
+		t.Errorf("solved %d/25", solved)
+	}
+	t.Logf("certified %d configs (%d started with holes)", solved, withHoles)
+}
+
+// TestCertifyTwentyParticles: a single larger instance, certifying the
+// Lemma 3.7 statement well beyond the exhaustively-BFS-checked sizes.
+func TestCertifyTwentyParticles(t *testing.T) {
+	rng := rand.New(rand.NewPCG(20, 20))
+	c := config.RandomConnected(rng, 20)
+	moves, err := Certify(c, Options{})
+	if err != nil {
+		t.Fatalf("n=20: %v", err)
+	}
+	if _, err := Verify(c, moves); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyCatchesInvalidSequences: Verify must reject corrupt
+// certificates.
+func TestVerifyCatchesInvalidSequences(t *testing.T) {
+	c := config.Line(4)
+	bad := []Move{{From: lattice.Point{X: 0}, To: lattice.Point{X: 5}}}
+	if _, err := Verify(c, bad); err == nil {
+		t.Error("non-lattice step accepted")
+	}
+	bad = []Move{{From: lattice.Point{X: 9}, To: lattice.Point{X: 10}}}
+	if _, err := Verify(c, bad); err == nil {
+		t.Error("unoccupied source accepted")
+	}
+	// A move that is a lattice step but invalid for M: interior particle of
+	// a line moving sideways (Property 1 fails).
+	bad = []Move{{From: lattice.Point{X: 1}, To: lattice.Point{X: 1, Y: 1}}}
+	if _, err := Verify(c, bad); err == nil {
+		t.Error("invalid chain move accepted")
+	}
+	// Valid single move that does not end in a line.
+	ok4 := []Move{{From: lattice.Point{X: 0}, To: lattice.Point{X: 0, Y: 1}}}
+	if _, err := Verify(c, ok4); err == nil {
+		t.Error("non-line endpoint accepted")
+	}
+}
+
+// TestCertificatesEliminateHolesForever: replay a ring certificate and
+// check holes, once gone, never return (Lemma 3.8 along an explicit path).
+func TestCertificatesEliminateHolesForever(t *testing.T) {
+	ring := config.New(lattice.Ring(lattice.Point{}, 1)...)
+	moves, err := Certify(ring, Options{})
+	if err != nil {
+		t.Fatalf("no certificate: %v", err)
+	}
+	c := ring.Clone()
+	holeFree := false
+	for _, mv := range moves {
+		c.Move(mv.From, mv.To)
+		holes := c.HasHoles()
+		if holeFree && holes {
+			t.Fatal("hole reappeared along the certificate")
+		}
+		if !holes {
+			holeFree = true
+		}
+	}
+	if !holeFree {
+		t.Fatal("certificate never eliminated the hole")
+	}
+}

@@ -1,0 +1,84 @@
+// Package metrics provides the compression measures of the paper: the
+// minimum and maximum possible perimeters pmin(n) and pmax(n) (§2.3), the
+// α-compression and β-expansion ratios (Definition 2.2, §5), and the maximum
+// induced-edge count they derive from.
+package metrics
+
+import "math"
+
+// CeilSqrt returns ⌈√v⌉ for v ≥ 0 using exact integer arithmetic.
+func CeilSqrt(v int) int {
+	if v < 0 {
+		panic("metrics: CeilSqrt of negative value")
+	}
+	r := int(math.Sqrt(float64(v)))
+	// Correct floating point drift in both directions.
+	for r > 0 && (r-1)*(r-1) >= v {
+		r--
+	}
+	for r*r < v {
+		r++
+	}
+	return r
+}
+
+// PMin returns the minimum possible perimeter of a connected configuration
+// of n particles: pmin(n) = ⌈√(12n−3)⌉ − 3, achieved by the hexagonal spiral
+// (Harary–Harborth; equivalently e_max(n) = ⌊3n − √(12n−3)⌋ maximum contacts
+// among n points of the triangular lattice). PMin(1) = 0, PMin(2) = 2,
+// PMin(7) = 6 (the hexagon).
+func PMin(n int) int {
+	if n < 1 {
+		panic("metrics: PMin requires n ≥ 1")
+	}
+	return CeilSqrt(12*n-3) - 3
+}
+
+// PMax returns the maximum possible perimeter of a connected hole-free
+// configuration of n particles: pmax(n) = 2n − 2, achieved by any induced
+// tree (a configuration with no triangles).
+func PMax(n int) int {
+	if n < 1 {
+		panic("metrics: PMax requires n ≥ 1")
+	}
+	return 2*n - 2
+}
+
+// MaxEdges returns the maximum number of induced edges over configurations
+// of n particles: e_max(n) = 3n − ⌈√(12n−3)⌉, the Lemma 2.3 dual of PMin.
+func MaxEdges(n int) int {
+	if n < 1 {
+		panic("metrics: MaxEdges requires n ≥ 1")
+	}
+	return 3*n - CeilSqrt(12*n-3)
+}
+
+// MinEdges returns the minimum number of induced edges of a connected
+// configuration: n − 1 (a spanning tree).
+func MinEdges(n int) int {
+	if n < 1 {
+		panic("metrics: MinEdges requires n ≥ 1")
+	}
+	return n - 1
+}
+
+// Alpha returns the compression ratio p / pmin(n). A configuration is
+// α-compressed when Alpha ≤ α (Definition 2.2). For n ≤ 2 every connected
+// configuration is maximally compressed and Alpha returns 1.
+func Alpha(perimeter, n int) float64 {
+	pm := PMin(n)
+	if pm == 0 {
+		return 1
+	}
+	return float64(perimeter) / float64(pm)
+}
+
+// Beta returns the expansion ratio p / pmax(n). A configuration is
+// β-expanded when Beta ≥ β (§5). For n = 1, Beta returns 1.
+func Beta(perimeter, n int) float64 {
+	px := PMax(n)
+	if px == 0 {
+		return 1
+	}
+	return float64(perimeter) / float64(px)
+}

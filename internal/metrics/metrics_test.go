@@ -1,0 +1,108 @@
+package metrics
+
+import "testing"
+
+func TestCeilSqrt(t *testing.T) {
+	cases := []struct{ v, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 3},
+		{10, 4}, {15, 4}, {16, 4}, {17, 5}, {99, 10}, {100, 10}, {101, 11},
+	}
+	for _, c := range cases {
+		if got := CeilSqrt(c.v); got != c.want {
+			t.Errorf("CeilSqrt(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Exhaustive consistency sweep.
+	for v := 0; v < 100000; v++ {
+		r := CeilSqrt(v)
+		if r*r < v || (r > 0 && (r-1)*(r-1) >= v) {
+			t.Fatalf("CeilSqrt(%d) = %d inconsistent", v, r)
+		}
+	}
+}
+
+func TestPMinKnownValues(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 2}, {3, 3}, {4, 4}, {5, 5}, {6, 6}, {7, 6},
+		{8, 7}, {10, 8}, {19, 12}, {37, 18}, {100, 32},
+	}
+	for _, c := range cases {
+		if got := PMin(c.n); got != c.want {
+			t.Errorf("PMin(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPMinPMaxRelations(t *testing.T) {
+	for n := 1; n <= 3000; n++ {
+		pmin, pmax := PMin(n), PMax(n)
+		if pmin > pmax {
+			t.Fatalf("PMin(%d)=%d exceeds PMax=%d", n, pmin, pmax)
+		}
+		if n >= 2 && pmin*pmin < n {
+			t.Fatalf("Lemma 2.1 violated: PMin(%d)=%d below √n", n, pmin)
+		}
+		if pmin > 4*CeilSqrt(n) {
+			t.Fatalf("PMin(%d)=%d above 4√n", n, pmin)
+		}
+		// Lemma 2.3 duality with edge counts.
+		if MaxEdges(n) != 3*n-pmin-3 {
+			t.Fatalf("MaxEdges(%d)=%d, want 3n−pmin−3=%d", n, MaxEdges(n), 3*n-pmin-3)
+		}
+		if MinEdges(n) != 3*n-pmax-3 {
+			t.Fatalf("MinEdges(%d)=%d, want 3n−pmax−3=%d", n, MinEdges(n), 3*n-pmax-3)
+		}
+		// PMin is non-decreasing.
+		if n > 1 && PMin(n) < PMin(n-1) {
+			t.Fatalf("PMin not monotone at %d", n)
+		}
+	}
+}
+
+func TestHexagonNumbersArePMinTight(t *testing.T) {
+	// Full hexagons of radius r have n = 1+3r(r+1) particles and perimeter
+	// exactly 6r.
+	for r := 1; r <= 30; r++ {
+		n := 1 + 3*r*(r+1)
+		if got := PMin(n); got != 6*r {
+			t.Errorf("PMin(hexagon %d) = %d, want %d", n, got, 6*r)
+		}
+	}
+}
+
+func TestAlphaBeta(t *testing.T) {
+	if Alpha(12, 19) != 1.0 {
+		t.Errorf("hexagon19 should have α=1, got %v", Alpha(12, 19))
+	}
+	if Alpha(0, 1) != 1.0 {
+		t.Errorf("single particle α should be 1")
+	}
+	if Beta(2*100-2, 100) != 1.0 {
+		t.Errorf("line should have β=1, got %v", Beta(198, 100))
+	}
+	if Beta(0, 1) != 1.0 {
+		t.Errorf("single particle β should be 1")
+	}
+	if a := Alpha(24, 19); a != 2.0 {
+		t.Errorf("Alpha(24,19) = %v, want 2", a)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"PMin":     func() { PMin(0) },
+		"PMax":     func() { PMax(0) },
+		"MaxEdges": func() { MaxEdges(0) },
+		"MinEdges": func() { MinEdges(0) },
+		"CeilSqrt": func() { CeilSqrt(-1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}

@@ -1,0 +1,158 @@
+// Package move implements the locality-checkable movement conditions of the
+// compression Markov chain M (paper §3.1): Property 1, Property 2, and the
+// composite validity predicate used by both the chain and the distributed
+// algorithm. All checks inspect only the ≤10 lattice cells surrounding the
+// move, matching what a constant-memory particle can observe.
+package move
+
+import (
+	"sops/internal/config"
+	"sops/internal/lattice"
+)
+
+// Occupancy is the read-only view the checks need. *config.Config satisfies
+// it, as does the amoebot world's tail-occupancy view.
+type Occupancy interface {
+	Has(lattice.Point) bool
+}
+
+var _ Occupancy = (*config.Config)(nil)
+
+// neighborhood gathers the occupied cells among N(ℓ ∪ ℓ′): the neighbors of
+// ℓ or ℓ′, excluding ℓ and ℓ′ themselves. The moving particle sits at ℓ so it
+// is never its own neighbor; ℓ′ is required to be unoccupied by the caller.
+func neighborhood(occ Occupancy, l, lp lattice.Point) []lattice.Point {
+	out := make([]lattice.Point, 0, 8)
+	seen := make(map[lattice.Point]bool, 10)
+	seen[l], seen[lp] = true, true
+	for _, center := range [2]lattice.Point{l, lp} {
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			q := center.Neighbor(d)
+			if seen[q] {
+				continue
+			}
+			seen[q] = true
+			if occ.Has(q) {
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// commonOccupied returns S = N(ℓ) ∩ N(ℓ′): the occupied cells adjacent to
+// both ℓ and ℓ′. On the triangular lattice |S| ∈ {0, 1, 2}.
+func commonOccupied(occ Occupancy, l lattice.Point, d lattice.Dir) []lattice.Point {
+	var out []lattice.Point
+	for _, s := range l.CommonNeighbors(d) {
+		if occ.Has(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Property1 reports whether locations ℓ and ℓ′ = ℓ+d satisfy Property 1:
+// |S| ∈ {1, 2} and every particle in N(ℓ ∪ ℓ′) is connected to a particle in
+// S by a path through N(ℓ ∪ ℓ′).
+func Property1(occ Occupancy, l lattice.Point, d lattice.Dir) bool {
+	s := commonOccupied(occ, l, d)
+	if len(s) == 0 {
+		return false
+	}
+	lp := l.Neighbor(d)
+	nbhd := neighborhood(occ, l, lp)
+	// BFS within nbhd starting from the S cells; every cell must be reached.
+	reached := make(map[lattice.Point]bool, len(nbhd))
+	queue := make([]lattice.Point, 0, len(nbhd))
+	for _, c := range s {
+		reached[c] = true
+		queue = append(queue, c)
+	}
+	inSet := make(map[lattice.Point]bool, len(nbhd))
+	for _, c := range nbhd {
+		inSet[c] = true
+	}
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for dd := lattice.Dir(0); dd < lattice.NumDirs; dd++ {
+			q := p.Neighbor(dd)
+			if inSet[q] && !reached[q] {
+				reached[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	return len(reached) == len(nbhd)
+}
+
+// Property2 reports whether locations ℓ and ℓ′ = ℓ+d satisfy Property 2:
+// |S| = 0, ℓ and ℓ′ each have at least one neighboring particle, all
+// particles in N(ℓ)∖{ℓ′} are connected by paths within that set, and all
+// particles in N(ℓ′)∖{ℓ} are connected by paths within that set.
+func Property2(occ Occupancy, l lattice.Point, d lattice.Dir) bool {
+	if len(commonOccupied(occ, l, d)) != 0 {
+		return false
+	}
+	lp := l.Neighbor(d)
+	return ringConnectedNonEmpty(occ, l, lp) && ringConnectedNonEmpty(occ, lp, l)
+}
+
+// ringConnectedNonEmpty checks that the occupied cells among center's six
+// neighbors, excluding the cell excl, are non-empty and mutually connected by
+// paths within that set. Cells on the ring are lattice-adjacent iff they are
+// consecutive around the ring, so the set is connected iff its members form
+// one contiguous run.
+func ringConnectedNonEmpty(occ Occupancy, center, excl lattice.Point) bool {
+	var occupied [lattice.NumDirs]bool
+	count := 0
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		q := center.Neighbor(d)
+		if q != excl && occ.Has(q) {
+			occupied[d] = true
+			count++
+		}
+	}
+	if count == 0 {
+		return false
+	}
+	if count == lattice.NumDirs {
+		return true
+	}
+	// Count maximal runs of occupied cells around the 6-ring: connected iff
+	// exactly one run (transitions from unoccupied to occupied == 1).
+	runs := 0
+	for d := 0; d < lattice.NumDirs; d++ {
+		prev := (d + lattice.NumDirs - 1) % lattice.NumDirs
+		if occupied[d] && !occupied[prev] {
+			runs++
+		}
+	}
+	return runs == 1
+}
+
+// Valid reports whether the particle at ℓ may move to the unoccupied
+// adjacent location ℓ′ = ℓ+d per the conditions of Markov chain M, step 6,
+// conditions (1) and (2): the particle has fewer than five neighbors
+// (prevents hole creation) and the pair satisfies Property 1 or Property 2
+// (preserves connectivity and reversibility). The Metropolis filter,
+// condition (3), is applied by the caller.
+func Valid(occ Occupancy, l lattice.Point, d lattice.Dir) bool {
+	lp := l.Neighbor(d)
+	if occ.Has(lp) {
+		return false
+	}
+	// Condition (1): e ≠ 5. With ℓ′ unoccupied the degree is at most 5, so
+	// this is exactly "degree < 5".
+	deg := 0
+	for dd := lattice.Dir(0); dd < lattice.NumDirs; dd++ {
+		if occ.Has(l.Neighbor(dd)) {
+			deg++
+		}
+	}
+	if deg == 5 {
+		return false
+	}
+	return Property1(occ, l, d) || Property2(occ, l, d)
+}

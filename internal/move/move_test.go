@@ -1,0 +1,249 @@
+package move
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+)
+
+func pt(x, y int) lattice.Point { return lattice.Point{X: x, Y: y} }
+
+// dirBetween returns the direction from a to adjacent b, failing the test
+// otherwise.
+func dirBetween(t *testing.T, a, b lattice.Point) lattice.Dir {
+	t.Helper()
+	d, ok := a.DirTo(b)
+	if !ok {
+		t.Fatalf("%v and %v not adjacent", a, b)
+	}
+	return d
+}
+
+func TestProperty1SimplePair(t *testing.T) {
+	// Particles at (0,0) and (1,0); move (0,0) to (0,1). S = {(1,0)}?
+	// Common neighbors of (0,0) and (0,1) are (1,0) and (-1,1); only (1,0)
+	// is occupied, so |S| = 1 and the only other particle IS the S particle.
+	c := config.New(pt(0, 0), pt(1, 0))
+	d := dirBetween(t, pt(0, 0), pt(0, 1))
+	if !Property1(c, pt(0, 0), d) {
+		t.Error("Property 1 should hold for a pair pivot")
+	}
+	if Property2(c, pt(0, 0), d) {
+		t.Error("Property 2 requires |S| = 0")
+	}
+	if !Valid(c, pt(0, 0), d) {
+		t.Error("move should be valid")
+	}
+}
+
+func TestProperty1FailsWhenNeighborhoodSplit(t *testing.T) {
+	// ℓ = (0,0) moving E to ℓ′ = (1,0). S = common neighbors {(0,1),(1,-1)}.
+	// Occupy (0,1) (in S) and (-1,0) (neighbor of ℓ only, not adjacent to
+	// anything in S within the joint neighborhood): moving would disconnect
+	// (-1,0).
+	c := config.New(pt(0, 0), pt(0, 1), pt(-1, 0))
+	d := dirBetween(t, pt(0, 0), pt(1, 0))
+	if Property1(c, pt(0, 0), d) {
+		t.Error("Property 1 must fail: (-1,0) is not connected to S through N(ℓ∪ℓ′)")
+	}
+	if Property2(c, pt(0, 0), d) {
+		t.Error("Property 2 must fail: |S| = 1")
+	}
+	if Valid(c, pt(0, 0), d) {
+		t.Error("move must be invalid; it would disconnect the system")
+	}
+	// Adding (-1,1) bridges (-1,0) to S=(0,1): now Property 1 holds.
+	c.Add(pt(-1, 1))
+	if !Property1(c, pt(0, 0), d) {
+		t.Error("Property 1 should hold once the path through N(ℓ∪ℓ′) exists")
+	}
+}
+
+func TestProperty2Bridge(t *testing.T) {
+	// A particle at ℓ=(0,0) with a neighbor below-left, moving to ℓ′=(1,0)
+	// which has a neighbor on its far side; no common neighbors. This is the
+	// "leapfrog across a gap" move that only Property 2 allows.
+	//
+	// ℓ=(0,0), ℓ′=(1,0). Common cells: (0,1) and (1,-1) — keep them empty.
+	// Give ℓ the neighbor (-1,0); give ℓ′ the neighbor (2,0).
+	c := config.New(pt(0, 0), pt(-1, 0), pt(2, 0))
+	d := dirBetween(t, pt(0, 0), pt(1, 0))
+	if Property1(c, pt(0, 0), d) {
+		t.Error("Property 1 requires |S| ≥ 1")
+	}
+	if !Property2(c, pt(0, 0), d) {
+		t.Error("Property 2 should hold for the bridge move")
+	}
+	if !Valid(c, pt(0, 0), d) {
+		t.Error("bridge move should be valid")
+	}
+}
+
+func TestProperty2FailsWithSplitRing(t *testing.T) {
+	// ℓ′ = (1,0) has two neighbors on opposite sides of its ring that are
+	// not connected within N(ℓ′)∖{ℓ}: (2,0) and (1,1)? (1,1) is adjacent to
+	// (2,0)? (1,1)-(2,0) = (-1,1) = a lattice direction, so they ARE
+	// adjacent. Use (2,-1) and (1,1) instead: (1,1)-(2,-1) = (-1,2), not a
+	// direction, and neither is adjacent to the other around the ring.
+	c := config.New(pt(0, 0), pt(-1, 0), pt(2, -1), pt(1, 1))
+	d := dirBetween(t, pt(0, 0), pt(1, 0))
+	if Property2(c, pt(0, 0), d) {
+		t.Error("Property 2 must fail: N(ℓ′)∖{ℓ} is disconnected")
+	}
+	if Valid(c, pt(0, 0), d) {
+		t.Error("move must be invalid")
+	}
+}
+
+func TestProperty2RequiresBothOccupiedSides(t *testing.T) {
+	// ℓ has no neighbor at all besides the direction of travel: invalid.
+	c := config.New(pt(0, 0), pt(2, 0))
+	d := dirBetween(t, pt(0, 0), pt(1, 0))
+	if Property2(c, pt(0, 0), d) {
+		t.Error("Property 2 must fail when ℓ has no neighbors")
+	}
+	// Symmetric case: ℓ′ side empty.
+	c2 := config.New(pt(0, 0), pt(-1, 0))
+	if Property2(c2, pt(0, 0), d) {
+		t.Error("Property 2 must fail when ℓ′ has no neighbors")
+	}
+}
+
+func TestValidRejectsDegreeFive(t *testing.T) {
+	// Particle at origin with exactly 5 neighbors; moving it would leave a
+	// hole candidate. Condition (1) of M forbids the move.
+	ring := lattice.Ring(pt(0, 0), 1)
+	c := config.New(pt(0, 0))
+	for i, p := range ring {
+		if i == 0 {
+			continue // leave one gap: degree 5
+		}
+		c.Add(p)
+	}
+	// Make sure outer structure keeps things connected regardless.
+	if got := c.Degree(pt(0, 0)); got != 5 {
+		t.Fatalf("setup degree = %d, want 5", got)
+	}
+	d, ok := pt(0, 0).DirTo(ring[0])
+	if !ok {
+		t.Fatal("ring[0] should be adjacent")
+	}
+	if Valid(c, pt(0, 0), d) {
+		t.Error("degree-5 particle must not move (hole prevention)")
+	}
+}
+
+func TestValidRejectsOccupiedTarget(t *testing.T) {
+	c := config.New(pt(0, 0), pt(1, 0))
+	d := dirBetween(t, pt(0, 0), pt(1, 0))
+	if Valid(c, pt(0, 0), d) {
+		t.Error("cannot move onto an occupied cell")
+	}
+}
+
+// TestPropertySymmetry verifies the claim of §3.1 that both properties are
+// symmetric in ℓ and ℓ′ — the precondition for reversibility (Lemma 3.9).
+// Neither property consults the occupancy of ℓ or ℓ′ themselves, so the
+// check must give identical results evaluated from either end, before or
+// after the move.
+func TestPropertySymmetry(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 0))
+	for trial := 0; trial < 200; trial++ {
+		c := config.RandomConnected(rng, 2+rng.IntN(30))
+		pts := c.Points()
+		l := pts[rng.IntN(len(pts))]
+		d := lattice.Dir(rng.IntN(lattice.NumDirs))
+		lp := l.Neighbor(d)
+		if c.Has(lp) {
+			continue
+		}
+		rev := d.Opposite()
+		if Property1(c, l, d) != Property1(c, lp, rev) {
+			t.Fatalf("Property 1 not symmetric for %v→%v", l, lp)
+		}
+		if Property2(c, l, d) != Property2(c, lp, rev) {
+			t.Fatalf("Property 2 not symmetric for %v→%v", l, lp)
+		}
+	}
+}
+
+// TestMovePreservesConnectivity replays Lemma 3.1 empirically: any valid
+// move applied to a connected configuration leaves it connected.
+func TestMovePreservesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 15))
+	moves := 0
+	for trial := 0; trial < 400; trial++ {
+		c := config.RandomConnected(rng, 2+rng.IntN(25))
+		pts := c.Points()
+		l := pts[rng.IntN(len(pts))]
+		d := lattice.Dir(rng.IntN(lattice.NumDirs))
+		if !Valid(c, l, d) {
+			continue
+		}
+		moves++
+		c.Move(l, l.Neighbor(d))
+		if !c.Connected() {
+			t.Fatalf("valid move %v→%v disconnected the system", l, l.Neighbor(d))
+		}
+	}
+	if moves < 50 {
+		t.Fatalf("only %d valid moves exercised; generator too restrictive", moves)
+	}
+}
+
+// TestMovePreservesHoleFreedom replays Lemma 3.2 empirically: a valid move
+// applied to a hole-free configuration cannot create a hole.
+func TestMovePreservesHoleFreedom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 2))
+	moves := 0
+	for trial := 0; trial < 600; trial++ {
+		c := config.RandomConnected(rng, 2+rng.IntN(25))
+		if c.HasHoles() {
+			continue
+		}
+		pts := c.Points()
+		l := pts[rng.IntN(len(pts))]
+		d := lattice.Dir(rng.IntN(lattice.NumDirs))
+		if !Valid(c, l, d) {
+			continue
+		}
+		moves++
+		c.Move(l, l.Neighbor(d))
+		if c.HasHoles() {
+			t.Fatalf("valid move %v→%v created a hole", l, l.Neighbor(d))
+		}
+	}
+	if moves < 50 {
+		t.Fatalf("only %d valid moves exercised", moves)
+	}
+}
+
+// TestMoveReversibility replays Lemma 3.9: on hole-free configurations every
+// valid move's reverse is also valid after the move.
+func TestMoveReversibility(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 41))
+	moves := 0
+	for trial := 0; trial < 600; trial++ {
+		c := config.RandomConnected(rng, 2+rng.IntN(25))
+		if c.HasHoles() {
+			continue
+		}
+		pts := c.Points()
+		l := pts[rng.IntN(len(pts))]
+		d := lattice.Dir(rng.IntN(lattice.NumDirs))
+		if !Valid(c, l, d) {
+			continue
+		}
+		moves++
+		lp := l.Neighbor(d)
+		c.Move(l, lp)
+		if !Valid(c, lp, d.Opposite()) {
+			t.Fatalf("move %v→%v not reversible", l, lp)
+		}
+	}
+	if moves < 50 {
+		t.Fatalf("only %d valid moves exercised", moves)
+	}
+}

@@ -1,0 +1,138 @@
+// Package saw counts self-avoiding walks (SAWs) and self-avoiding polygons
+// on the hexagonal (honeycomb) lattice, the dual of the triangular lattice
+// G∆ (§4.1, Figs 8–9). The paper's Peierls arguments rest on Theorem 4.2
+// (Duminil-Copin & Smirnov): the connective constant of the hexagonal
+// lattice is µ_hex = √(2+√2) ≈ 1.84776, so the number of boundary shapes of
+// perimeter k grows like (2+√2)^k — the 2+√2 in the compression threshold.
+//
+// The hexagonal lattice is 3-regular and bipartite. We embed it with two
+// vertex classes on the triangular lattice's face centers; combinatorially,
+// a vertex is (p, parity) where even vertices connect via one direction set
+// and odd vertices via the complementary set.
+package saw
+
+import (
+	"math"
+
+	"sops/internal/lattice"
+)
+
+// hexVertex is a vertex of the honeycomb lattice, represented as a
+// triangular-lattice face: the "up" face (parity 0) or "down" face (parity
+// 1) whose lowest-left corner is P.
+type hexVertex struct {
+	p      lattice.Point
+	parity uint8
+}
+
+// neighbors returns the three honeycomb neighbors of v: the faces sharing
+// an edge with v's face. With up face U(p) = {p, p+u0, p+u1} and down face
+// D(p) = {p, p+u1, p+u2}, the edges of U(p) are shared with D(p) (edge
+// p–p+u1), D(p+u5) (edge p–p+u0), and D(p+u0) (edge p+u0–p+u1); dually the
+// edges of D(p) are shared with U(p), U(p+u3), and U(p+u2).
+func (v hexVertex) neighbors() [3]hexVertex {
+	p := v.p
+	if v.parity == 0 {
+		return [3]hexVertex{
+			{p, 1},
+			{p.Neighbor(5), 1},
+			{p.Neighbor(0), 1},
+		}
+	}
+	return [3]hexVertex{
+		{p, 0},
+		{p.Neighbor(3), 0},
+		{p.Neighbor(2), 0},
+	}
+}
+
+// Count returns the number of self-avoiding walks of each length 0..maxLen
+// in the hexagonal lattice starting from a fixed origin vertex. counts[l] is
+// N_l; counts[0] = 1 (the empty walk). Exhaustive backtracking; feasible to
+// maxLen ≈ 30 (N_30 ≈ 1.6·10^8).
+func Count(maxLen int) []uint64 {
+	counts := make([]uint64, maxLen+1)
+	counts[0] = 1
+	if maxLen == 0 {
+		return counts
+	}
+	origin := hexVertex{lattice.Point{}, 0}
+	visited := map[hexVertex]bool{origin: true}
+	var rec func(v hexVertex, length int)
+	rec = func(v hexVertex, length int) {
+		for _, nb := range v.neighbors() {
+			if visited[nb] {
+				continue
+			}
+			counts[length+1]++
+			if length+1 < maxLen {
+				visited[nb] = true
+				rec(nb, length+1)
+				delete(visited, nb)
+			}
+		}
+	}
+	rec(origin, 0)
+	return counts
+}
+
+// CountPolygons returns, for each length 0..maxLen, the number of
+// self-avoiding cycles of that length through a fixed origin vertex,
+// counted as rooted oriented cycles (each geometric polygon through the
+// origin is counted twice, once per orientation). Entry l counts closed
+// walks of length l. The honeycomb lattice is bipartite so only even
+// lengths ≥ 6 are nonzero.
+func CountPolygons(maxLen int) []uint64 {
+	counts := make([]uint64, maxLen+1)
+	if maxLen < 6 {
+		return counts
+	}
+	origin := hexVertex{lattice.Point{}, 0}
+	visited := map[hexVertex]bool{origin: true}
+	var rec func(v hexVertex, length int)
+	rec = func(v hexVertex, length int) {
+		for _, nb := range v.neighbors() {
+			if nb == origin && length+1 >= 3 {
+				counts[length+1]++
+				continue
+			}
+			if visited[nb] {
+				continue
+			}
+			if length+1 < maxLen {
+				visited[nb] = true
+				rec(nb, length+1)
+				delete(visited, nb)
+			}
+		}
+	}
+	rec(origin, 0)
+	return counts
+}
+
+// MuHex is the exact connective constant of the hexagonal lattice,
+// √(2+√2) (Theorem 4.2, Duminil-Copin & Smirnov 2012).
+func MuHex() float64 { return math.Sqrt(2 + math.Sqrt2) }
+
+// GrowthEstimates returns µ_l = N_l^{1/l} for l = 1..len(counts)-1: the
+// finite-length estimates of the connective constant that converge to
+// MuHex.
+func GrowthEstimates(counts []uint64) []float64 {
+	out := make([]float64, len(counts))
+	for l := 1; l < len(counts); l++ {
+		out[l] = math.Pow(float64(counts[l]), 1/float64(l))
+	}
+	return out
+}
+
+// RatioEstimates returns N_{l}/N_{l-1}, an alternative (faster-converging)
+// estimator of the connective constant.
+func RatioEstimates(counts []uint64) []float64 {
+	out := make([]float64, len(counts))
+	for l := 2; l < len(counts); l++ {
+		if counts[l-1] != 0 {
+			out[l] = float64(counts[l]) / float64(counts[l-1])
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package saw
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHoneycombRegularityAndSymmetry: the embedded lattice must be
+// 3-regular with symmetric adjacency and bipartite by parity.
+func TestHoneycombRegularityAndSymmetry(t *testing.T) {
+	start := hexVertex{}
+	frontier := []hexVertex{start}
+	seen := map[hexVertex]bool{start: true}
+	for depth := 0; depth < 5; depth++ {
+		var next []hexVertex
+		for _, v := range frontier {
+			nbs := v.neighbors()
+			if nbs[0] == nbs[1] || nbs[0] == nbs[2] || nbs[1] == nbs[2] {
+				t.Fatalf("duplicate neighbors at %v: %v", v, nbs)
+			}
+			for _, nb := range nbs {
+				if nb.parity == v.parity {
+					t.Fatalf("parity violation: %v adjacent to %v", v, nb)
+				}
+				// Symmetry: v must appear among nb's neighbors.
+				found := false
+				for _, back := range nb.neighbors() {
+					if back == v {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("asymmetric adjacency: %v -> %v", v, nb)
+				}
+				if !seen[nb] {
+					seen[nb] = true
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
+// TestKnownSAWCounts pins the honeycomb SAW series (OEIS A001668):
+// 3, 6, 12, 24, 48, 90, 174, 336, 648, 1218.
+func TestKnownSAWCounts(t *testing.T) {
+	counts := Count(10)
+	want := []uint64{1, 3, 6, 12, 24, 48, 90, 174, 336, 648, 1218}
+	for l, w := range want {
+		if counts[l] != w {
+			t.Errorf("N_%d = %d, want %d", l, counts[l], w)
+		}
+	}
+}
+
+// TestPolygonCounts: the shortest honeycomb cycles are the hexagons: three
+// faces meet at the origin vertex, each traversable in two orientations.
+func TestPolygonCounts(t *testing.T) {
+	counts := CountPolygons(10)
+	for l := 0; l <= 5; l++ {
+		if counts[l] != 0 {
+			t.Errorf("cycle count at length %d = %d, want 0", l, counts[l])
+		}
+	}
+	if counts[6] != 6 {
+		t.Errorf("6-cycles through origin = %d, want 6 (3 faces × 2 orientations)", counts[6])
+	}
+	// Bipartite: no odd cycles.
+	for l := 7; l <= 10; l += 2 {
+		if counts[l] != 0 {
+			t.Errorf("odd cycle count at length %d = %d", l, counts[l])
+		}
+	}
+}
+
+// TestPolygonsBoundedBySAWs: closed walks of length l through the origin
+// are a subset of length-(l−1) SAW extensions, so counts are dominated by
+// walk counts (Lemma 4.3's counting step).
+func TestPolygonsBoundedBySAWs(t *testing.T) {
+	polys := CountPolygons(12)
+	walks := Count(12)
+	for l := 1; l <= 12; l++ {
+		if polys[l] > walks[l] {
+			t.Errorf("length %d: polygons %d exceed walks %d", l, polys[l], walks[l])
+		}
+	}
+}
+
+// TestConnectiveConstantConvergence reproduces the numeric content of
+// Theorem 4.2: the growth estimates approach µ_hex = √(2+√2) ≈ 1.8478 from
+// above and the squared constant is 2+√2 — the base of the Peierls bound.
+func TestConnectiveConstantConvergence(t *testing.T) {
+	mu := MuHex()
+	if math.Abs(mu*mu-(2+math.Sqrt2)) > 1e-12 {
+		t.Fatalf("µ² = %v, want 2+√2", mu*mu)
+	}
+	counts := Count(18)
+	est := GrowthEstimates(counts)
+	// µ_l decreases toward µ; at l=18 it is within ~10%.
+	for l := 2; l <= 18; l++ {
+		if est[l] < mu-1e-9 {
+			t.Errorf("µ_%d = %v below the true connective constant %v", l, est[l], mu)
+		}
+	}
+	if est[18] > est[6] {
+		t.Errorf("growth estimates not decreasing: µ_18=%v > µ_6=%v", est[18], est[6])
+	}
+	if est[18] > mu*1.12 {
+		t.Errorf("µ_18 = %v too far above µ = %v", est[18], mu)
+	}
+	ratios := RatioEstimates(counts)
+	if math.Abs(ratios[18]-mu) > 0.08 {
+		t.Errorf("ratio estimate N_18/N_17 = %v, want ≈ %v", ratios[18], mu)
+	}
+}
+
+func BenchmarkSAWCount16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Count(16)
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	rho := Autocorrelation(xs, 10)
+	if rho[0] != 1 {
+		t.Fatalf("ρ(0) = %v, want 1", rho[0])
+	}
+	for k := 1; k <= 10; k++ {
+		if math.Abs(rho[k]) > 0.05 {
+			t.Errorf("white noise ρ(%d) = %v, want ≈0", k, rho[k])
+		}
+	}
+	tau := IntegratedAutocorrTime(xs)
+	if tau < 0.8 || tau > 1.5 {
+		t.Errorf("white-noise τ = %v, want ≈1", tau)
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with coefficient φ has ρ(k) = φ^k and τ = (1+φ)/(1−φ).
+	const phi = 0.8
+	rng := rand.New(rand.NewPCG(5, 8))
+	xs := make([]float64, 200000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = phi*xs[i-1] + rng.NormFloat64()
+	}
+	rho := Autocorrelation(xs, 5)
+	for k := 1; k <= 5; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(rho[k]-want) > 0.05 {
+			t.Errorf("AR(1) ρ(%d) = %v, want ≈%v", k, rho[k], want)
+		}
+	}
+	tau := IntegratedAutocorrTime(xs)
+	want := (1 + phi) / (1 - phi) // = 9
+	if math.Abs(tau-want)/want > 0.25 {
+		t.Errorf("AR(1) τ = %v, want ≈%v", tau, want)
+	}
+	ess := EffectiveSampleSize(xs)
+	if ess <= 0 || ess >= float64(len(xs)) {
+		t.Errorf("ESS = %v out of range", ess)
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if got := Autocorrelation(nil, 5); len(got) != 1 && len(got) != 0 {
+		// maxLag clamps to n−1 = −1 → single/empty result is acceptable;
+		// just must not panic.
+		t.Logf("nil series result length %d", len(got))
+	}
+	constant := []float64{2, 2, 2, 2}
+	rho := Autocorrelation(constant, 2)
+	for k := 1; k < len(rho); k++ {
+		if rho[k] != 0 {
+			t.Errorf("constant series ρ(%d) = %v", k, rho[k])
+		}
+	}
+	if tau := IntegratedAutocorrTime(constant); tau != 1 {
+		t.Errorf("constant series τ = %v, want 1", tau)
+	}
+	if EffectiveSampleSize(nil) != 0 {
+		t.Error("empty ESS should be 0")
+	}
+}

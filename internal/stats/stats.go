@@ -1,0 +1,128 @@
+// Package stats provides the small statistical toolkit the benchmark
+// harness uses: summary statistics, normal-approximation confidence
+// intervals, and least-squares power-law fits for the §3.7 scaling
+// conjecture.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1)
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.4g ±%.2g (n=%d, min=%.4g, med=%.4g, max=%.4g)",
+		s.Mean, s.CI95(), s.N, s.Min, s.Median, s.Max)
+}
+
+// PowerFit is a least-squares fit of y = C·x^Exponent performed in log-log
+// space.
+type PowerFit struct {
+	Exponent float64
+	LogC     float64
+	R2       float64
+}
+
+// FitPower fits y = C·x^k by linear regression on (ln x, ln y). All inputs
+// must be positive; it panics otherwise or when fewer than two points are
+// given.
+func FitPower(xs, ys []float64) PowerFit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: FitPower requires ≥2 paired points")
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: FitPower requires positive values")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, intercept, r2 := linreg(lx, ly)
+	return PowerFit{Exponent: slope, LogC: intercept, R2: r2}
+}
+
+// Predict evaluates the fitted power law at x.
+func (f PowerFit) Predict(x float64) float64 {
+	return math.Exp(f.LogC) * math.Pow(x, f.Exponent)
+}
+
+func linreg(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: degenerate regression (all x equal)")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		r2 = 1
+	} else {
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return slope, intercept, r2
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 || s.N != 5 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v, want √2.5", s.StdDev)
+	}
+	even := Summarize([]float64{4, 1, 3, 2})
+	if even.Median != 2.5 {
+		t.Errorf("even median = %v, want 2.5", even.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.Median != 7 {
+		t.Errorf("single summary %+v", s)
+	}
+	if !math.IsInf(s.CI95(), 1) {
+		t.Errorf("CI of single point should be infinite")
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummaryInvariantsQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			// Keep magnitudes bounded so the mean cannot overflow; the
+			// invariant under test is ordering, not extreme-value behavior.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPowerExact(t *testing.T) {
+	// y = 2.5·x^3.2 exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5 * math.Pow(x, 3.2)
+	}
+	f := FitPower(xs, ys)
+	if math.Abs(f.Exponent-3.2) > 1e-9 {
+		t.Errorf("exponent = %v, want 3.2", f.Exponent)
+	}
+	if math.Abs(math.Exp(f.LogC)-2.5) > 1e-9 {
+		t.Errorf("C = %v, want 2.5", math.Exp(f.LogC))
+	}
+	if f.R2 < 1-1e-12 {
+		t.Errorf("R² = %v, want 1", f.R2)
+	}
+	if math.Abs(f.Predict(32)-2.5*math.Pow(32, 3.2)) > 1e-6 {
+		t.Errorf("Predict off: %v", f.Predict(32))
+	}
+}
+
+func TestFitPowerNoisy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = 7 * math.Pow(xs[i], 2.0) * math.Exp(0.05*rng.NormFloat64())
+	}
+	f := FitPower(xs, ys)
+	if math.Abs(f.Exponent-2.0) > 0.1 {
+		t.Errorf("noisy exponent = %v, want ≈2", f.Exponent)
+	}
+	if f.R2 < 0.98 {
+		t.Errorf("R² = %v too low", f.R2)
+	}
+}
+
+func TestFitPowerPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"short":    func() { FitPower([]float64{1}, []float64{1}) },
+		"negative": func() { FitPower([]float64{1, -2}, []float64{1, 2}) },
+		"zero y":   func() { FitPower([]float64{1, 2}, []float64{0, 2}) },
+		"all same": func() { FitPower([]float64{3, 3}, []float64{1, 2}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}

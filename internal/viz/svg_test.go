@@ -1,0 +1,45 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+)
+
+func TestSVGStructure(t *testing.T) {
+	c := config.Spiral(7) // hexagon: 7 particles, 12 edges
+	out := SVG(c, nil)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a well-formed SVG document")
+	}
+	if got := strings.Count(out, "<circle"); got != 7 {
+		t.Errorf("%d circles, want 7", got)
+	}
+	if got := strings.Count(out, "<line"); got != 12 {
+		t.Errorf("%d edges drawn, want 12", got)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Error("degenerate coordinates in SVG output")
+	}
+}
+
+func TestSVGMarked(t *testing.T) {
+	c := config.Line(3)
+	marks := map[lattice.Point]bool{{X: 1, Y: 0}: true}
+	out := SVG(c, marks)
+	if got := strings.Count(out, `fill="white" stroke="black"`); got != 1 {
+		t.Errorf("%d hollow circles, want 1", got)
+	}
+	if got := strings.Count(out, `fill="black"`); got != 2 {
+		t.Errorf("%d filled circles, want 2", got)
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	out := SVG(config.New(), nil)
+	if !strings.Contains(out, "<svg") {
+		t.Error("empty configuration should still yield a valid document")
+	}
+}

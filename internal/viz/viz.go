@@ -1,0 +1,85 @@
+// Package viz renders particle system configurations as ASCII art for
+// terminal output, reproducing the visual style of the paper's Figs 1, 2,
+// and 10 (triangular-lattice configurations with occupied vertices marked).
+package viz
+
+import (
+	"strings"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+)
+
+// Render draws the configuration on a character grid. Each lattice row is
+// one text row, offset by one column per Y step to approximate the
+// triangular geometry ("●" occupied, "·" unoccupied background within the
+// bounding box).
+func Render(c *config.Config) string {
+	return RenderMarked(c, nil)
+}
+
+// RenderMarked draws the configuration with an extra set of marked points
+// ("○", e.g. crashed particles or hole cells). Marked points that are not
+// occupied are drawn as "x".
+func RenderMarked(c *config.Config, marked map[lattice.Point]bool) string {
+	if c.N() == 0 {
+		return "(empty configuration)\n"
+	}
+	min, max := c.Bounds()
+	var b strings.Builder
+	// Render top row (max Y) first. Indent each row by (y − minY) half
+	// steps so the axial shear is visible.
+	for y := max.Y; y >= min.Y; y-- {
+		b.WriteString(strings.Repeat(" ", y-min.Y))
+		for x := min.X; x <= max.X; x++ {
+			p := lattice.Point{X: x, Y: y}
+			switch {
+			case marked[p] && c.Has(p):
+				b.WriteString("○ ")
+			case marked[p]:
+				b.WriteString("x ")
+			case c.Has(p):
+				b.WriteString("● ")
+			default:
+				b.WriteString("· ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Summary produces a one-line description of the configuration's key
+// metrics for experiment logs.
+func Summary(c *config.Config) string {
+	var b strings.Builder
+	b.WriteString("n=")
+	writeInt(&b, c.N())
+	b.WriteString(" e=")
+	writeInt(&b, c.Edges())
+	b.WriteString(" t=")
+	writeInt(&b, c.Triangles())
+	b.WriteString(" p=")
+	writeInt(&b, c.Perimeter())
+	b.WriteString(" holes=")
+	writeInt(&b, c.HoleCount())
+	return b.String()
+}
+
+func writeInt(b *strings.Builder, v int) {
+	if v < 0 {
+		b.WriteByte('-')
+		v = -v
+	}
+	var digits [20]byte
+	i := len(digits)
+	for {
+		i--
+		digits[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	b.Write(digits[i:])
+}

@@ -1,0 +1,61 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+)
+
+func TestRenderCounts(t *testing.T) {
+	c := config.New(lattice.Point{X: 0, Y: 0}, lattice.Point{X: 1, Y: 0}, lattice.Point{X: 0, Y: 1})
+	out := Render(c)
+	if got := strings.Count(out, "●"); got != 3 {
+		t.Errorf("rendered %d particles, want 3", got)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("rendered %d rows, want 2", lines)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(config.New()); !strings.Contains(out, "empty") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderMarked(t *testing.T) {
+	c := config.New(lattice.Point{}, lattice.Point{X: 1})
+	marks := map[lattice.Point]bool{
+		{X: 1, Y: 0}: true, // occupied + marked
+	}
+	out := RenderMarked(c, marks)
+	if strings.Count(out, "○") != 1 || strings.Count(out, "●") != 1 {
+		t.Errorf("marked render wrong: %q", out)
+	}
+}
+
+func TestRowIndentation(t *testing.T) {
+	// Higher rows are indented further: check the top row has more leading
+	// spaces than the bottom row.
+	c := config.New(lattice.Point{X: 0, Y: 0}, lattice.Point{X: 0, Y: 2})
+	lines := strings.Split(strings.TrimRight(Render(c), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(lines))
+	}
+	top := len(lines[0]) - len(strings.TrimLeft(lines[0], " "))
+	bottom := len(lines[2]) - len(strings.TrimLeft(lines[2], " "))
+	if top <= bottom {
+		t.Errorf("top indent %d should exceed bottom indent %d", top, bottom)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := config.Spiral(7)
+	got := Summary(c)
+	want := "n=7 e=12 t=6 p=6 holes=0"
+	if got != want {
+		t.Errorf("Summary = %q, want %q", got, want)
+	}
+}
