@@ -1,0 +1,3 @@
+module sops
+
+go 1.24

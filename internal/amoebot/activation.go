@@ -70,34 +70,51 @@ func (a *Activation) Expand(d lattice.Dir) bool {
 
 // TailDegree returns e = |N*(ℓ)|: particles adjacent to the tail node,
 // counting expanded neighbors as contracted at their tails (heads excluded)
-// and never counting the particle itself.
+// and never counting the particle itself. The tail grid holds exactly the
+// tails, and the particle's own tail is the center cell, which Degree never
+// counts.
 func (a *Activation) TailDegree() int {
-	n := 0
-	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
-		if a.w.tailAt(a.p.tail.Neighbor(d), a.p.id) {
-			n++
-		}
-	}
-	return n
+	return a.w.tails.Degree(a.p.tail)
 }
 
 // HeadDegree returns e′ = |N*(ℓ′)|: the neighbors the particle would have
-// if it contracted to its head node, under the same N* convention.
+// if it contracted to its head node, under the same N* convention. The
+// particle's own tail is adjacent to its head while expanded, so it is
+// excluded explicitly.
 func (a *Activation) HeadDegree() int {
-	n := 0
-	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
-		if a.w.tailAt(a.p.head.Neighbor(d), a.p.id) {
-			n++
-		}
-	}
-	return n
+	return a.w.tails.DegreeExcluding(a.p.head, a.p.tail)
 }
 
 // SatisfiesMoveProperties reports whether the expanded particle's tail ℓ and
 // head ℓ′ satisfy Property 1 or Property 2 with respect to N*(·)
 // (Algorithm A, step 11, condition (2)). The check reads only the ten nodes
-// surrounding the pair.
+// surrounding the pair: one 8-cell mask extraction from the tail grid (which
+// by construction excludes ℓ, the particle's own tail, and contains no
+// heads) answers both properties from the move.Classify table.
 func (a *Activation) SatisfiesMoveProperties() bool {
+	cl, ok := a.MoveClass()
+	return ok && (cl.Property1() || cl.Property2())
+}
+
+// MoveClass returns the move.Class of the expanded particle's (tail, head)
+// pair over N*(·): Property 1, Property 2, e, and e′ from a single 8-cell
+// mask extraction. The second return is false if the particle is not
+// expanded. For an expanded particle the head cell holds no tail, so
+// Class.Degree equals TailDegree and Class.TargetDegree equals HeadDegree;
+// the three finer-grained accessors remain for protocols that need only one
+// quantity.
+func (a *Activation) MoveClass() (move.Class, bool) {
+	d, ok := a.p.tail.DirTo(a.p.head)
+	if !ok {
+		return 0, false
+	}
+	return move.Classify(a.w.tails.PairMask(a.p.tail, d)), true
+}
+
+// satisfiesMovePropertiesOracle is the pre-refactor implementation over the
+// map-backed tail view; tests assert it agrees with the mask fast path at
+// every activation.
+func (a *Activation) satisfiesMovePropertiesOracle() bool {
 	d, ok := a.p.tail.DirTo(a.p.head)
 	if !ok {
 		return false

@@ -61,12 +61,14 @@ func (c *Compression) Activate(a *Activation) {
 		}
 		return
 	}
-	// Steps 8–13: expanded phase.
+	// Steps 8–13: expanded phase. One mask classification answers the
+	// degree guard, both move properties, and the Metropolis exponent.
 	q := a.RandFloat()
-	e := a.TailDegree()
-	ep := a.HeadDegree()
-	ok := e != 5 &&
-		a.SatisfiesMoveProperties() &&
+	cl, expanded := a.MoveClass()
+	e := cl.Degree()
+	ep := cl.TargetDegree()
+	ok := expanded && e != 5 &&
+		(cl.Property1() || cl.Property2()) &&
 		q < c.lamPow[clampExp(ep-e)+5] &&
 		a.Flag()
 	if ok {

@@ -11,6 +11,7 @@ import (
 	"math/rand/v2"
 
 	"sops/internal/config"
+	"sops/internal/grid"
 	"sops/internal/lattice"
 )
 
@@ -58,6 +59,11 @@ type cell struct {
 type World struct {
 	particles []*Particle
 	cells     map[lattice.Point]cell
+	// tails is the bit-packed occupancy of all particle tails. It backs the
+	// N*(·) neighborhood evaluations of Algorithm A (tail degrees and the
+	// Property 1/2 checks) with allocation-free mask lookups; the cells map
+	// remains the source of truth for particle identity and head occupancy.
+	tails *grid.Grid
 
 	activations uint64
 	moves       uint64 // completed relocations (contract-to-head events)
@@ -83,6 +89,7 @@ func NewWorld(sigma0 *config.Config) (*World, error) {
 	}
 	w := &World{
 		cells:         make(map[lattice.Point]cell, sigma0.N()),
+		tails:         sigma0.ToGrid(),
 		activatedThis: make(map[ParticleID]struct{}, sigma0.N()),
 	}
 	for i, pt := range sigma0.Points() {
@@ -205,6 +212,7 @@ func (w *World) contractToHead(p *Particle) {
 		panic("amoebot: contract on contracted particle")
 	}
 	delete(w.cells, p.tail)
+	w.tails.Move(p.tail, p.head)
 	p.tail = p.head
 	w.cells[p.head] = cell{id: p.id}
 	w.moves++
@@ -279,6 +287,14 @@ func (w *World) CheckInvariants() error {
 	}
 	if len(w.cells) != len(seen) {
 		return fmt.Errorf("cell table has %d entries, particles occupy %d nodes", len(w.cells), len(seen))
+	}
+	if w.tails.N() != len(w.particles) {
+		return fmt.Errorf("tail grid holds %d cells, want %d", w.tails.N(), len(w.particles))
+	}
+	for _, p := range w.particles {
+		if !w.tails.Has(p.tail) {
+			return fmt.Errorf("tail grid missing particle %d tail %v", p.id, p.tail)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,14 @@
 // (Corollary 3.14). Each step selects a particle and a direction uniformly at
 // random, validates the move locally (degree ≠ 5 and Property 1 or 2), and
 // applies the Metropolis filter with bias λ.
+//
+// The chain runs on the bit-packed grid engine: occupancy lives in
+// grid.Grid, and the per-step validity check is one 8-bit neighborhood-mask
+// extraction plus one lookup in the move.Classify table, with no heap
+// allocation. The original map-backed implementation remains available via
+// WithReferenceEngine as the differential-testing oracle; both engines
+// consume randomness identically, so a (σ0, λ, seed) triple produces the
+// same trajectory on either.
 package chain
 
 import (
@@ -13,6 +21,7 @@ import (
 	"math/rand/v2"
 
 	"sops/internal/config"
+	"sops/internal/grid"
 	"sops/internal/lattice"
 	"sops/internal/move"
 )
@@ -33,22 +42,29 @@ func WithoutProperty1() Option { return func(c *Chain) { c.prop1 = false } }
 // state space is not connected (Fig 3); used only for ablations.
 func WithoutProperty2() Option { return func(c *Chain) { c.prop2 = false } }
 
+// WithReferenceEngine runs the chain on the original map-backed
+// config.Config with the BFS/ring-walk move checks instead of the bit-packed
+// grid and mask tables. It exists for differential testing: both engines
+// must produce identical trajectories from identical (σ0, λ, seed).
+func WithReferenceEngine() Option { return func(c *Chain) { c.reference = true } }
+
 // Chain is a running instance of Markov chain M. It is not safe for
 // concurrent use; run independent chains in separate goroutines instead.
 type Chain struct {
-	cfg    *config.Config
+	g      *grid.Grid     // fast engine (nil when reference is set)
+	cfg    *config.Config // reference engine (nil unless reference is set)
 	points []lattice.Point
-	index  map[lattice.Point]int
 	lambda float64
 	// lamPow caches λ^k for k ∈ [−5, 5] at index k+5: the only exponents a
 	// single move can produce, since degrees lie in [0, 5].
 	lamPow [11]float64
 	rng    *rand.Rand
 
+	reference    bool
 	degreeGuard  bool
 	prop1, prop2 bool
 
-	edges     int
+	edges     int // reference engine only; the grid tracks its own count
 	steps     uint64
 	accepted  uint64
 	holesGone bool // set once a hole-free configuration has been observed
@@ -68,7 +84,6 @@ func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*C
 		return nil, fmt.Errorf("chain: bias λ must be a positive finite number, got %v", lambda)
 	}
 	c := &Chain{
-		cfg:         sigma0.Clone(),
 		lambda:      lambda,
 		rng:         rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
 		degreeGuard: true,
@@ -78,16 +93,17 @@ func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*C
 	for _, o := range opts {
 		o(c)
 	}
-	c.points = c.cfg.Points()
-	c.index = make(map[lattice.Point]int, len(c.points))
-	for i, p := range c.points {
-		c.index[p] = i
+	c.points = sigma0.Points()
+	if c.reference {
+		c.cfg = sigma0.Clone()
+		c.edges = sigma0.Edges()
+	} else {
+		c.g = grid.New(c.points, 0)
 	}
 	for k := -5; k <= 5; k++ {
 		c.lamPow[k+5] = math.Pow(lambda, float64(k))
 	}
-	c.edges = c.cfg.Edges()
-	c.holesGone = !c.cfg.HasHoles()
+	c.holesGone = !sigma0.HasHoles()
 	return c, nil
 }
 
@@ -114,39 +130,73 @@ func (c *Chain) Steps() uint64 { return c.steps }
 func (c *Chain) Accepted() uint64 { return c.accepted }
 
 // Edges returns e(σ) for the current configuration, maintained incrementally.
-func (c *Chain) Edges() int { return c.edges }
+func (c *Chain) Edges() int {
+	if c.reference {
+		return c.edges
+	}
+	return c.g.Edges()
+}
+
+// hasHolesNow recomputes hole presence for the current configuration.
+func (c *Chain) hasHolesNow() bool {
+	if c.reference {
+		return c.cfg.HasHoles()
+	}
+	return c.g.HasHoles()
+}
 
 // Perimeter returns p(σ) for the current configuration. Once the chain has
 // reached the hole-free space Ω* it uses the identity p = 3n − 3 − e of
 // Lemma 2.3 (holes never reform, Lemma 3.2); before that it walks the
-// boundary.
+// boundary — a single walk, on the grid engine, answering both the hole
+// check and the perimeter.
 func (c *Chain) Perimeter() int {
 	if len(c.points) == 1 {
 		return 0
 	}
 	if c.holesGone {
-		return 3*len(c.points) - 3 - c.edges
+		return 3*len(c.points) - 3 - c.Edges()
 	}
-	if !c.cfg.HasHoles() {
+	if c.reference {
+		if !c.cfg.HasHoles() {
+			c.holesGone = true
+			return 3*len(c.points) - 3 - c.Edges()
+		}
+		return c.cfg.Perimeter()
+	}
+	cycles, edges := c.g.Boundaries()
+	if cycles <= 1 {
 		c.holesGone = true
-		return 3*len(c.points) - 3 - c.edges
+		return 3*len(c.points) - 3 - c.Edges()
 	}
-	return c.cfg.Perimeter()
+	return edges
 }
 
 // HoleFree reports whether the chain has reached the hole-free space Ω*.
 func (c *Chain) HoleFree() bool {
-	if !c.holesGone && !c.cfg.HasHoles() {
+	if !c.holesGone && !c.hasHolesNow() {
 		c.holesGone = true
 	}
 	return c.holesGone
 }
 
 // Config returns a snapshot copy of the current configuration.
-func (c *Chain) Config() *config.Config { return c.cfg.Clone() }
+func (c *Chain) Config() *config.Config {
+	if c.reference {
+		return c.cfg.Clone()
+	}
+	return config.FromGrid(c.g)
+}
 
-// view returns the live internal configuration for read-only use.
-func (c *Chain) view() *config.Config { return c.cfg }
+// view returns a map-backed configuration of the current state for read-only
+// use in tests and invariant checks. In reference mode it is the live
+// internal configuration; on the grid engine it is materialized per call.
+func (c *Chain) view() *config.Config {
+	if c.reference {
+		return c.cfg
+	}
+	return config.FromGrid(c.g)
+}
 
 // Step executes one iteration of Markov chain M and reports whether a
 // particle moved.
@@ -155,23 +205,54 @@ func (c *Chain) Step() bool {
 	i := c.rng.IntN(len(c.points))
 	l := c.points[i]
 	d := lattice.Dir(c.rng.IntN(lattice.NumDirs))
+	if c.reference {
+		return c.stepReference(i, l, d)
+	}
 	lp := l.Neighbor(d)
-	if c.cfg.Has(lp) {
+	if c.g.Has(lp) {
 		return false
 	}
+	// One mask extraction answers conditions (1) and (2) and both degrees.
+	cl := move.Classify(c.g.PairMask(l, d))
 	// Condition (1): the particle must have fewer than five neighbors, or a
 	// hole could form at ℓ.
-	e := c.cfg.Degree(l)
+	e := cl.Degree()
 	if c.degreeGuard && e == 5 {
 		return false
 	}
 	// Condition (2): Property 1 or Property 2 must hold for (ℓ, ℓ′).
-	ok := (c.prop1 && move.Property1(c.cfg, l, d)) || (c.prop2 && move.Property2(c.cfg, l, d))
-	if !ok {
+	if !((c.prop1 && cl.Property1()) || (c.prop2 && cl.Property2())) {
 		return false
 	}
 	// Condition (3), the Metropolis filter: accept with probability
 	// min(1, λ^{e′−e}).
+	ep := cl.TargetDegree()
+	if thresh := c.lamPow[ep-e+5]; thresh < 1 {
+		if c.rng.Float64() >= thresh {
+			return false
+		}
+	}
+	c.g.Move(l, lp)
+	c.points[i] = lp
+	c.accepted++
+	return true
+}
+
+// stepReference is the pre-refactor step body on the map-backed engine. It
+// must consume randomness exactly as the grid path does.
+func (c *Chain) stepReference(i int, l lattice.Point, d lattice.Dir) bool {
+	lp := l.Neighbor(d)
+	if c.cfg.Has(lp) {
+		return false
+	}
+	e := c.cfg.Degree(l)
+	if c.degreeGuard && e == 5 {
+		return false
+	}
+	ok := (c.prop1 && move.Property1(c.cfg, l, d)) || (c.prop2 && move.Property2(c.cfg, l, d))
+	if !ok {
+		return false
+	}
 	ep := c.cfg.DegreeExcluding(lp, l)
 	if thresh := c.lamPow[ep-e+5]; thresh < 1 {
 		if c.rng.Float64() >= thresh {
@@ -180,8 +261,6 @@ func (c *Chain) Step() bool {
 	}
 	c.cfg.Move(l, lp)
 	c.points[i] = lp
-	delete(c.index, l)
-	c.index[lp] = i
 	c.edges += ep - e
 	c.accepted++
 	return true

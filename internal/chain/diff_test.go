@@ -1,0 +1,121 @@
+package chain
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sops/internal/config"
+)
+
+// TestEnginesProduceIdenticalTrajectories runs the grid engine and the
+// map-backed reference engine from identical (σ0, λ, seed) and asserts
+// step-for-step equality: same accept/reject decision, same particle
+// positions, same incremental edge count, and (sampled) same perimeter and
+// hole status. This is the contract that makes the refactor invisible:
+// fixed options and seed keep producing byte-identical results.
+func TestEnginesProduceIdenticalTrajectories(t *testing.T) {
+	type scenario struct {
+		name   string
+		start  func(rng *rand.Rand) *config.Config
+		lambda float64
+		steps  int
+	}
+	scenarios := []scenario{
+		{"line/compress", func(*rand.Rand) *config.Config { return config.Line(30) }, 4, 6000},
+		{"line/expand", func(*rand.Rand) *config.Config { return config.Line(20) }, 0.5, 6000},
+		{"spiral/critical", func(*rand.Rand) *config.Config { return config.Spiral(25) }, 3, 6000},
+		{"eden/holes", func(rng *rand.Rand) *config.Config { return config.RandomConnected(rng, 35) }, 4, 6000},
+		{"tree", func(rng *rand.Rand) *config.Config { return config.RandomTree(rng, 20) }, 2, 6000},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 4; seed++ {
+				rng := rand.New(rand.NewPCG(seed, 42))
+				sigma0 := sc.start(rng)
+				fast := MustNew(sigma0, sc.lambda, seed)
+				ref := MustNew(sigma0, sc.lambda, seed, WithReferenceEngine())
+				for step := 0; step < sc.steps; step++ {
+					fm, rm := fast.Step(), ref.Step()
+					if fm != rm {
+						t.Fatalf("seed %d step %d: fast moved=%v, reference moved=%v", seed, step, fm, rm)
+					}
+					if fast.Edges() != ref.Edges() {
+						t.Fatalf("seed %d step %d: edges %d vs %d", seed, step, fast.Edges(), ref.Edges())
+					}
+					if fm {
+						for i := range fast.points {
+							if fast.points[i] != ref.points[i] {
+								t.Fatalf("seed %d step %d: particle %d at %v vs %v",
+									seed, step, i, fast.points[i], ref.points[i])
+							}
+						}
+					}
+					if step%500 == 0 {
+						if fast.Perimeter() != ref.Perimeter() {
+							t.Fatalf("seed %d step %d: perimeter %d vs %d",
+								seed, step, fast.Perimeter(), ref.Perimeter())
+						}
+						if fast.HoleFree() != ref.HoleFree() {
+							t.Fatalf("seed %d step %d: holeFree %v vs %v",
+								seed, step, fast.HoleFree(), ref.HoleFree())
+						}
+					}
+				}
+				if fast.Accepted() != ref.Accepted() {
+					t.Fatalf("seed %d: accepted %d vs %d", seed, fast.Accepted(), ref.Accepted())
+				}
+				fp, rp := fast.Config().Points(), ref.Config().Points()
+				for i := range fp {
+					if fp[i] != rp[i] {
+						t.Fatalf("seed %d: final point %d = %v vs %v", seed, i, fp[i], rp[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAblationEnginesAgree repeats the differential run with each rule of M
+// ablated, so the option plumbing is identical on both engines too.
+func TestAblationEnginesAgree(t *testing.T) {
+	ablations := map[string]Option{
+		"noDegreeGuard": WithoutDegreeGuard(),
+		"noProperty1":   WithoutProperty1(),
+		"noProperty2":   WithoutProperty2(),
+	}
+	for name, opt := range ablations {
+		t.Run(name, func(t *testing.T) {
+			sigma0 := config.Spiral(20)
+			fast := MustNew(sigma0, 1, 7, opt)
+			ref := MustNew(sigma0, 1, 7, opt, WithReferenceEngine())
+			for step := 0; step < 5000; step++ {
+				if fm, rm := fast.Step(), ref.Step(); fm != rm {
+					t.Fatalf("step %d: fast moved=%v, reference moved=%v", step, fm, rm)
+				}
+			}
+			if fast.Config().Key() != ref.Config().Key() {
+				t.Fatal("final configurations differ")
+			}
+		})
+	}
+}
+
+// TestGridStateMatchesView spot-checks that the grid engine's incremental
+// bookkeeping matches a from-scratch recomputation on its own materialized
+// configuration mid-run.
+func TestGridStateMatchesView(t *testing.T) {
+	c := MustNew(config.Line(40), 4, 3)
+	for batch := 0; batch < 20; batch++ {
+		c.Run(2000)
+		v := c.view()
+		if got, want := c.Edges(), v.Edges(); got != want {
+			t.Fatalf("batch %d: incremental edges %d, recomputed %d", batch, got, want)
+		}
+		if got, want := c.Perimeter(), v.Perimeter(); got != want {
+			t.Fatalf("batch %d: perimeter %d, recomputed %d", batch, got, want)
+		}
+		if !v.Connected() {
+			t.Fatalf("batch %d: configuration disconnected", batch)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package config
+
+import (
+	"sops/internal/grid"
+	"sops/internal/lattice"
+)
+
+// FromGrid returns a map-backed configuration occupying the same cells as
+// the bit-packed grid, so metrics, viz, and enumeration keep working
+// unchanged on top of the grid engine.
+func FromGrid(g *grid.Grid) *Config {
+	c := &Config{occ: make(map[lattice.Point]struct{}, g.N())}
+	g.Each(func(p lattice.Point) {
+		c.occ[p] = struct{}{}
+	})
+	return c
+}
+
+// ToGrid returns a bit-packed grid occupying the same cells as c, with the
+// default window slack.
+func (c *Config) ToGrid() *grid.Grid {
+	return grid.New(c.Points(), 0)
+}

@@ -1,0 +1,75 @@
+package grid
+
+import "sops/internal/lattice"
+
+// Boundaries decomposes the interface arcs (occupied cell, empty-neighbor
+// direction) into successor cycles — the same permutation config.Boundaries
+// walks, but over the bit-packed store with a reusable bitset instead of
+// maps. It returns the number of cycles and the total number of boundary
+// edges across all cycles, cut edges counted once per traversal direction
+// exactly as §2.2 requires. One call answers both Perimeter and HasHoles;
+// callers that need both should use it directly to walk only once.
+func (g *Grid) Boundaries() (cycles, edges int) {
+	if g.n == 0 {
+		return 0, 0
+	}
+	// One visited bit per (cell, direction) arc. Arc slots use a stride of 8
+	// per cell so the index is shift arithmetic; slots 6 and 7 stay unused.
+	need := g.stride * g.h * 8
+	if len(g.arcScratch) != need {
+		g.arcScratch = make([]uint64, need)
+	} else {
+		clear(g.arcScratch)
+	}
+	visited := func(p lattice.Point, d lattice.Dir) bool {
+		a := g.bitIndex(p)<<3 + int(d)
+		return g.arcScratch[a>>6]>>(uint(a)&63)&1 != 0
+	}
+	mark := func(p lattice.Point, d lattice.Dir) {
+		a := g.bitIndex(p)<<3 + int(d)
+		g.arcScratch[a>>6] |= 1 << (uint(a) & 63)
+	}
+	g.Each(func(p lattice.Point) {
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			if g.Has(p.Neighbor(d)) || visited(p, d) {
+				continue
+			}
+			cycles++
+			// Walk the successor cycle: from arc (v, vd), rotate CCW to
+			// t = vd+60°; if v's neighbor in direction t is empty, pivot in
+			// place to (v, t); otherwise step along the configuration edge
+			// to (v+t, vd−60°), traversing one boundary edge.
+			vp, vd := p, d
+			for {
+				mark(vp, vd)
+				t := vd.CCW(1)
+				if q := vp.Neighbor(t); !g.Has(q) {
+					vd = t
+				} else {
+					vp, vd = q, vd.CW(1)
+					edges++
+				}
+				if vp == p && vd == d {
+					break
+				}
+			}
+		}
+	})
+	return cycles, edges
+}
+
+// Perimeter returns p(σ): the total length of all boundaries (external and
+// holes), with cut edges counted twice, matching config.Config.Perimeter.
+func (g *Grid) Perimeter() int {
+	_, edges := g.Boundaries()
+	return edges
+}
+
+// HasHoles reports whether the occupancy encloses any finite empty region.
+// It requires the occupied set to be connected (a connected configuration
+// has exactly one boundary cycle iff it is hole-free); the chain and the
+// amoebot world maintain connectivity by construction.
+func (g *Grid) HasHoles() bool {
+	cycles, _ := g.Boundaries()
+	return cycles > 1
+}

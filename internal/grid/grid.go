@@ -1,0 +1,376 @@
+// Package grid implements a dense, bit-packed occupancy store over a bounded
+// window of the triangular lattice. It is the engine under the hot paths of
+// the simulator: one bit per lattice cell in row-strided uint64 words, so
+// Has/Degree/Move are O(1) pointer-free array arithmetic with zero heap
+// allocation per call, in contrast to the map-backed config.Config.
+//
+// The window is sized from the initial occupancy plus slack and grows by
+// reallocation whenever a particle is placed near the border, so the grid
+// presents the same unbounded-lattice semantics as a map: any point may be
+// queried (out-of-window points read as unoccupied) and any point may be
+// occupied.
+//
+// Beyond plain occupancy the grid maintains e(σ) (the induced edge count)
+// incrementally across Add/Remove/Move, and extracts the 8-cell neighborhood
+// mask of a move pair (ℓ, ℓ′ = ℓ+d) in canonical orientation-independent bit
+// order — the index into the 256-entry move-validity tables built by
+// internal/move. Boundary-walk Perimeter and HasHoles round out the
+// bookkeeping the chain needs before it reaches the hole-free space.
+//
+// A Grid is not safe for concurrent use.
+package grid
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sops/internal/lattice"
+)
+
+// margin is the minimum distance (in cells) every occupied cell keeps from
+// the window border. With margin 2 every cell a mask extraction or degree
+// count can touch (offsets of magnitude ≤ 2 around an occupied cell) is
+// inside the window, so the hot paths need no bounds checks.
+const margin = 2
+
+// DefaultSlack is the default padding added around the initial bounding box.
+const DefaultSlack = 16
+
+// minSlack keeps reallocation from thrashing and guarantees margin holds
+// right after a grow.
+const minSlack = margin + 2
+
+// Mask is the occupancy bitmap of the 8 cells in N(ℓ ∪ ℓ′) — the neighbors
+// of a move pair (ℓ, ℓ′ = ℓ+d), excluding ℓ and ℓ′ themselves — in canonical
+// bit order. Writing u(k) for the lattice direction d rotated k·60° CCW, the
+// bits are:
+//
+//	bit 0  S1 = ℓ + u(1)    common neighbor of ℓ and ℓ′, CCW side
+//	bit 1  S2 = ℓ + u(5)    common neighbor of ℓ and ℓ′, CW side
+//	bit 2  A1 = ℓ + u(2)    exclusive neighbors of ℓ
+//	bit 3  A2 = ℓ + u(3)
+//	bit 4  A3 = ℓ + u(4)
+//	bit 5  B1 = ℓ′ + u(1)   exclusive neighbors of ℓ′
+//	bit 6  B2 = ℓ′ + u(0)
+//	bit 7  B3 = ℓ′ + u(5)
+//
+// Because the layout is defined relative to d, the same mask value describes
+// the same local geometry for every direction: tables indexed by Mask are
+// direction-independent.
+type Mask uint8
+
+// The mask bits, named as in the Mask documentation.
+const (
+	MaskS1 Mask = 1 << iota
+	MaskS2
+	MaskA1
+	MaskA2
+	MaskA3
+	MaskB1
+	MaskB2
+	MaskB3
+)
+
+// MaskNearL selects the bits adjacent to ℓ; with ℓ′ unoccupied,
+// popcount(m & MaskNearL) is deg(ℓ).
+const MaskNearL = MaskS1 | MaskS2 | MaskA1 | MaskA2 | MaskA3
+
+// MaskNearLp selects the bits adjacent to ℓ′; popcount(m & MaskNearLp) is
+// the degree ℓ′ would have after the move, i.e. deg(ℓ′) excluding ℓ.
+const MaskNearLp = MaskS1 | MaskS2 | MaskB1 | MaskB2 | MaskB3
+
+// MaskOffsets returns the lattice offsets, relative to ℓ, of the 8 mask
+// cells for a move in direction d, in bit order. It is the reference
+// definition of the Mask layout, used by table builders and tests.
+func MaskOffsets(d lattice.Dir) [8]lattice.Point {
+	u := func(k int) lattice.Point { return d.CCW(k).Vec() }
+	lp := u(0)
+	return [8]lattice.Point{
+		u(1), u(5), u(2), u(3), u(4),
+		lp.Add(u(1)), lp.Add(u(0)), lp.Add(u(5)),
+	}
+}
+
+// Grid is the bit-packed occupancy window. The zero value is not usable;
+// construct with New.
+type Grid struct {
+	minX, minY int // lattice coordinates of cell index (0, 0)
+	w, h       int // window size in cells
+	stride     int // words per row; a row spans stride*64 bit slots
+	words      []uint64
+	n          int // occupied cells
+	edges      int // induced edges e(σ), maintained incrementally
+	slack      int
+
+	// nbrDelta[d] is the bit-index delta to the neighbor in direction d;
+	// maskDelta[d][k] the delta to mask cell k of a move in direction d.
+	// Both depend only on the stride, so they are rebuilt on grow.
+	nbrDelta  [lattice.NumDirs]int
+	maskDelta [lattice.NumDirs][8]int
+
+	arcScratch []uint64 // visited-arc bitset reused by boundary walks
+}
+
+// New returns a grid occupying exactly the given points, with the window
+// sized to their bounding box plus slack cells on every side. Non-positive
+// slack selects DefaultSlack. Duplicate points are collapsed.
+func New(pts []lattice.Point, slack int) *Grid {
+	if slack <= 0 {
+		slack = DefaultSlack
+	}
+	if slack < minSlack {
+		slack = minSlack
+	}
+	g := &Grid{slack: slack}
+	min, max := lattice.Point{}, lattice.Point{}
+	if len(pts) > 0 {
+		min, max = pts[0], pts[0]
+		for _, p := range pts[1:] {
+			min, max = boundsExtend(min, max, p)
+		}
+	}
+	g.reshape(min, max)
+	for _, p := range pts {
+		g.Add(p)
+	}
+	return g
+}
+
+func boundsExtend(min, max, p lattice.Point) (lattice.Point, lattice.Point) {
+	if p.X < min.X {
+		min.X = p.X
+	}
+	if p.Y < min.Y {
+		min.Y = p.Y
+	}
+	if p.X > max.X {
+		max.X = p.X
+	}
+	if p.Y > max.Y {
+		max.Y = p.Y
+	}
+	return min, max
+}
+
+// reshape allocates an empty window covering [min, max] plus slack and
+// rebuilds the stride-dependent deltas. Occupancy is not preserved; callers
+// re-add bits.
+func (g *Grid) reshape(min, max lattice.Point) {
+	g.minX, g.minY = min.X-g.slack, min.Y-g.slack
+	g.w, g.h = max.X-g.minX+g.slack+1, max.Y-g.minY+g.slack+1
+	g.stride = (g.w + 63) / 64
+	g.words = make([]uint64, g.stride*g.h)
+	g.arcScratch = nil
+	sb := g.stride << 6
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		v := d.Vec()
+		g.nbrDelta[d] = v.Y*sb + v.X
+		for k, off := range MaskOffsets(d) {
+			g.maskDelta[d][k] = off.Y*sb + off.X
+		}
+	}
+}
+
+// grow reallocates the window so it covers the current occupancy and p with
+// fresh slack on every side, preserving all occupied cells.
+func (g *Grid) grow(p lattice.Point) {
+	min, max := p, p
+	pts := g.Points()
+	for _, q := range pts {
+		min, max = boundsExtend(min, max, q)
+	}
+	// Grow the slack with the window so a particle random-walking outward
+	// triggers geometrically fewer reallocations.
+	if span := max.X - min.X + max.Y - min.Y; g.slack < span/4 {
+		g.slack = span / 4
+	}
+	n, edges := g.n, g.edges
+	g.reshape(min, max)
+	for _, q := range pts {
+		g.setBit(g.bitIndex(q))
+	}
+	g.n, g.edges = n, edges
+}
+
+// bitIndex returns the bit slot of p, which must lie inside the window.
+func (g *Grid) bitIndex(p lattice.Point) int {
+	return (p.Y-g.minY)*(g.stride<<6) + (p.X - g.minX)
+}
+
+func (g *Grid) bit(idx int) uint64 {
+	return g.words[idx>>6] >> (uint(idx) & 63) & 1
+}
+
+func (g *Grid) setBit(idx int)   { g.words[idx>>6] |= 1 << (uint(idx) & 63) }
+func (g *Grid) clearBit(idx int) { g.words[idx>>6] &^= 1 << (uint(idx) & 63) }
+
+// inWindow reports whether p falls inside the allocated window.
+func (g *Grid) inWindow(p lattice.Point) bool {
+	cx, cy := p.X-g.minX, p.Y-g.minY
+	return cx >= 0 && cy >= 0 && cx < g.w && cy < g.h
+}
+
+// nearBorder reports whether p is too close to the window border for the
+// occupied-cell margin invariant.
+func (g *Grid) nearBorder(p lattice.Point) bool {
+	cx, cy := p.X-g.minX, p.Y-g.minY
+	return cx < margin || cy < margin || cx >= g.w-margin || cy >= g.h-margin
+}
+
+// N returns the number of occupied cells.
+func (g *Grid) N() int { return g.n }
+
+// Edges returns e(σ): the number of lattice edges with both endpoints
+// occupied, maintained incrementally.
+func (g *Grid) Edges() int { return g.edges }
+
+// Has reports whether p is occupied. Points outside the window are
+// unoccupied.
+func (g *Grid) Has(p lattice.Point) bool {
+	if !g.inWindow(p) {
+		return false
+	}
+	return g.bit(g.bitIndex(p)) != 0
+}
+
+// Add occupies p, growing the window if needed. It reports whether p was
+// previously unoccupied.
+func (g *Grid) Add(p lattice.Point) bool {
+	if g.Has(p) {
+		return false
+	}
+	if g.nearBorder(p) {
+		g.grow(p)
+	}
+	g.edges += g.Degree(p)
+	g.setBit(g.bitIndex(p))
+	g.n++
+	return true
+}
+
+// Remove vacates p. It reports whether p was occupied.
+func (g *Grid) Remove(p lattice.Point) bool {
+	if !g.Has(p) {
+		return false
+	}
+	g.edges -= g.Degree(p)
+	g.clearBit(g.bitIndex(p))
+	g.n--
+	return true
+}
+
+// Move relocates a particle from src to dst, updating the edge count. It
+// panics if src is unoccupied or dst is occupied: callers are expected to
+// have validated the move.
+func (g *Grid) Move(src, dst lattice.Point) {
+	if !g.Has(src) {
+		panic(fmt.Sprintf("grid: move from unoccupied %v", src))
+	}
+	if g.Has(dst) {
+		panic(fmt.Sprintf("grid: move to occupied %v", dst))
+	}
+	if g.nearBorder(dst) {
+		g.grow(dst)
+	}
+	g.edges -= g.Degree(src)
+	g.clearBit(g.bitIndex(src))
+	g.edges += g.Degree(dst)
+	g.setBit(g.bitIndex(dst))
+}
+
+// Degree returns the number of occupied neighbors of p. The point p itself
+// does not count, occupied or not.
+func (g *Grid) Degree(p lattice.Point) int {
+	cx, cy := p.X-g.minX, p.Y-g.minY
+	if cx < 1 || cy < 1 || cx >= g.w-1 || cy >= g.h-1 {
+		// Border or out-of-window point: per-neighbor bounds checks.
+		n := 0
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			if g.Has(p.Neighbor(d)) {
+				n++
+			}
+		}
+		return n
+	}
+	idx := cy*(g.stride<<6) + cx
+	n := uint64(0)
+	for _, delta := range g.nbrDelta {
+		n += g.bit(idx + delta)
+	}
+	return int(n)
+}
+
+// DegreeExcluding returns the number of occupied neighbors of p, not
+// counting the location excl.
+func (g *Grid) DegreeExcluding(p, excl lattice.Point) int {
+	n := 0
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		if q := p.Neighbor(d); q != excl && g.Has(q) {
+			n++
+		}
+	}
+	return n
+}
+
+// PairMask extracts the canonical 8-cell neighborhood mask of the move pair
+// (ℓ, ℓ′ = ℓ+d). ℓ must be occupied: the margin invariant then puts all 8
+// cells inside the window, so the extraction is 8 unchecked bit reads.
+func (g *Grid) PairMask(l lattice.Point, d lattice.Dir) Mask {
+	idx := g.bitIndex(l)
+	deltas := &g.maskDelta[d]
+	var m Mask
+	for k := 0; k < 8; k++ {
+		m |= Mask(g.bit(idx+deltas[k])) << uint(k)
+	}
+	return m
+}
+
+// Points returns the occupied points sorted by (Y, X), matching
+// config.Config.Points order.
+func (g *Grid) Points() []lattice.Point {
+	out := make([]lattice.Point, 0, g.n)
+	g.Each(func(p lattice.Point) {
+		out = append(out, p)
+	})
+	return out
+}
+
+// Each calls fn for every occupied point in (Y, X) order.
+func (g *Grid) Each(fn func(lattice.Point)) {
+	for cy := 0; cy < g.h; cy++ {
+		row := g.words[cy*g.stride : (cy+1)*g.stride]
+		for wi, w := range row {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				fn(lattice.Point{X: g.minX + wi<<6 + b, Y: g.minY + cy})
+			}
+		}
+	}
+}
+
+// Bounds returns the inclusive bounding box of the occupied cells. It panics
+// on an empty grid.
+func (g *Grid) Bounds() (min, max lattice.Point) {
+	if g.n == 0 {
+		panic("grid: Bounds of empty grid")
+	}
+	first := true
+	g.Each(func(p lattice.Point) {
+		if first {
+			min, max = p, p
+			first = false
+			return
+		}
+		min, max = boundsExtend(min, max, p)
+	})
+	return min, max
+}
+
+// Clone returns a deep copy of g. The boundary-walk scratch is not shared.
+func (g *Grid) Clone() *Grid {
+	out := *g
+	out.words = append([]uint64(nil), g.words...)
+	out.arcScratch = nil
+	return &out
+}

@@ -1,0 +1,164 @@
+package grid_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/grid"
+	"sops/internal/lattice"
+)
+
+// TestRandomOpsAgainstConfig drives the same random Add/Remove/Move sequence
+// through the bit-packed grid and the map-backed config and asserts they
+// agree on occupancy, N, Edges, and Points at every step.
+func TestRandomOpsAgainstConfig(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		g := grid.New(nil, 4) // tiny slack: exercise growth
+		c := config.New()
+		randPt := func() lattice.Point {
+			return lattice.Point{X: rng.IntN(41) - 20, Y: rng.IntN(41) - 20}
+		}
+		for op := 0; op < 4000; op++ {
+			switch rng.IntN(3) {
+			case 0:
+				p := randPt()
+				if got, want := g.Add(p), c.Add(p); got != want {
+					t.Fatalf("seed %d op %d: Add(%v) = %v, config says %v", seed, op, p, got, want)
+				}
+			case 1:
+				p := randPt()
+				if got, want := g.Remove(p), c.Remove(p); got != want {
+					t.Fatalf("seed %d op %d: Remove(%v) = %v, config says %v", seed, op, p, got, want)
+				}
+			case 2:
+				pts := c.Points()
+				if len(pts) == 0 {
+					continue
+				}
+				src := pts[rng.IntN(len(pts))]
+				dst := src.Neighbor(lattice.Dir(rng.IntN(lattice.NumDirs)))
+				if c.Has(dst) {
+					continue
+				}
+				g.Move(src, dst)
+				c.Move(src, dst)
+			}
+			if g.N() != c.N() {
+				t.Fatalf("seed %d op %d: N = %d, want %d", seed, op, g.N(), c.N())
+			}
+			if g.Edges() != c.Edges() {
+				t.Fatalf("seed %d op %d: Edges = %d, want %d", seed, op, g.Edges(), c.Edges())
+			}
+		}
+		gp, cp := g.Points(), c.Points()
+		if len(gp) != len(cp) {
+			t.Fatalf("seed %d: %d points, want %d", seed, len(gp), len(cp))
+		}
+		for i := range gp {
+			if gp[i] != cp[i] {
+				t.Fatalf("seed %d: point %d = %v, want %v", seed, i, gp[i], cp[i])
+			}
+			if d := g.Degree(gp[i]); d != c.Degree(cp[i]) {
+				t.Fatalf("seed %d: Degree(%v) = %d, want %d", seed, gp[i], d, c.Degree(cp[i]))
+			}
+		}
+	}
+}
+
+// TestGrowthPreservesOccupancy walks a single particle far outside the
+// initial window in every direction, forcing repeated reallocation.
+func TestGrowthPreservesOccupancy(t *testing.T) {
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		p := lattice.Point{}.Neighbor(d)
+		g := grid.New([]lattice.Point{{}, p}, 4)
+		for i := 0; i < 300; i++ {
+			q := p.Neighbor(d)
+			g.Move(p, q)
+			g.Add(p) // leave a trail so Edges stays meaningful
+			g.Remove(p)
+			p = q
+		}
+		if !g.Has(p) || !g.Has(lattice.Point{}) || g.N() != 2 {
+			t.Fatalf("dir %v: occupancy lost after growth; N=%d", d, g.N())
+		}
+	}
+}
+
+// TestPairMaskMatchesOffsets cross-checks the mask extractor against direct
+// Has reads at the documented offsets, on random occupancies and all six
+// directions.
+func TestPairMaskMatchesOffsets(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0))
+	for trial := 0; trial < 200; trial++ {
+		c := config.RandomConnected(rng, 30)
+		g := c.ToGrid()
+		for _, l := range c.Points() {
+			for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+				m := g.PairMask(l, d)
+				for k, off := range grid.MaskOffsets(d) {
+					want := c.Has(l.Add(off))
+					if got := m>>uint(k)&1 == 1; got != want {
+						t.Fatalf("trial %d: mask bit %d at %v dir %v = %v, want %v",
+							trial, k, l, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPerimeterAndHolesAgainstConfig checks the grid boundary walk against
+// config.Perimeter / config.HasHoles on random connected configurations,
+// including hole-bearing Eden growths, plus canonical shapes.
+func TestPerimeterAndHolesAgainstConfig(t *testing.T) {
+	check := func(name string, c *config.Config) {
+		t.Helper()
+		g := c.ToGrid()
+		if got, want := g.Perimeter(), c.Perimeter(); got != want {
+			t.Fatalf("%s: Perimeter = %d, want %d", name, got, want)
+		}
+		if got, want := g.HasHoles(), c.HasHoles(); got != want {
+			t.Fatalf("%s: HasHoles = %v, want %v", name, got, want)
+		}
+	}
+	check("single", config.New(lattice.Point{}))
+	check("pair", config.Line(2))
+	check("line40", config.Line(40))
+	check("spiral50", config.Spiral(50))
+	check("hexagon3", config.Hexagon(3))
+	// A ring with an explicit hole in the middle.
+	ring := config.New(lattice.Ring(lattice.Point{}, 2)...)
+	check("ring2", ring)
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 100; trial++ {
+		check("eden", config.RandomConnected(rng, 40))
+		check("tree", config.RandomTree(rng, 25))
+	}
+}
+
+// TestRoundTrip checks config.FromGrid ∘ ToGrid is the identity.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 50; trial++ {
+		c := config.RandomConnected(rng, 60)
+		back := config.FromGrid(c.ToGrid())
+		if c.N() != back.N() || c.Key() != back.Key() {
+			t.Fatalf("trial %d: round trip changed configuration", trial)
+		}
+	}
+}
+
+// TestCloneIndependent verifies clones do not share storage.
+func TestCloneIndependent(t *testing.T) {
+	g := config.Line(5).ToGrid()
+	h := g.Clone()
+	h.Add(lattice.Point{X: 0, Y: 3})
+	if g.Has(lattice.Point{X: 0, Y: 3}) {
+		t.Fatal("clone shares storage with original")
+	}
+	if g.N() != 5 || h.N() != 6 {
+		t.Fatalf("N = %d/%d, want 5/6", g.N(), h.N())
+	}
+}

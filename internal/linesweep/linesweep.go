@@ -162,9 +162,13 @@ func ToLine(sigma *config.Config, opts Options) ([]Move, error) {
 	heap.Push(h, &node{cfg: start, prio: potential(start)})
 	for expansions := 0; h.Len() > 0 && expansions < maxExp; expansions++ {
 		cur := heap.Pop(h).(*node)
+		// The inner 6n validity checks go through the table-driven grid fast
+		// path; Verify below replays certificates against the map-backed
+		// reference predicate, keeping the checker independent of the tables.
+		g := cur.cfg.ToGrid()
 		for _, l := range cur.cfg.Points() {
 			for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
-				if !move.Valid(cur.cfg, l, d) {
+				if !move.ValidGrid(g, l, d) {
 					continue
 				}
 				next := cur.cfg.Clone()

@@ -1,0 +1,83 @@
+package move
+
+import (
+	"math/bits"
+
+	"sops/internal/config"
+	"sops/internal/grid"
+	"sops/internal/lattice"
+)
+
+// Class packs everything a single chain step needs to know about a move pair
+// (ℓ, ℓ′): whether Property 1 and Property 2 hold, deg(ℓ), and the degree ℓ′
+// would have after the move. It is produced by one table index on the 8-cell
+// neighborhood mask, replacing the per-step BFS of Property1 and the ring
+// walks of Property2 on the hot path.
+//
+// Layout: bit 0 Property 1, bit 1 Property 2, bits 2–4 deg(ℓ),
+// bits 5–7 deg(ℓ′)∖{ℓ}.
+type Class uint8
+
+// Property1 reports whether the pair satisfies Property 1.
+func (c Class) Property1() bool { return c&1 != 0 }
+
+// Property2 reports whether the pair satisfies Property 2.
+func (c Class) Property2() bool { return c&2 != 0 }
+
+// Degree returns e = deg(ℓ), the mover's occupied-neighbor count (ℓ′ is
+// unoccupied, so 0 ≤ e ≤ 5).
+func (c Class) Degree() int { return int(c>>2) & 7 }
+
+// TargetDegree returns e′ = deg(ℓ′) excluding ℓ: the neighbor count the
+// particle would have after moving (0 ≤ e′ ≤ 5).
+func (c Class) TargetDegree() int { return int(c>>5) & 7 }
+
+// Valid reports conditions (1) and (2) of Markov chain M, step 6: fewer than
+// five neighbors and Property 1 or Property 2.
+func (c Class) Valid() bool { return c.Degree() != 5 && c&3 != 0 }
+
+// classTab answers Property 1, Property 2, and both degrees for all 256
+// neighborhood masks. It is built once, at package initialization, by
+// evaluating the reference Property1/Property2 implementations on an
+// explicit map-backed configuration for every mask — the table and the
+// oracle cannot disagree by construction. The mask layout is canonical in
+// the move direction (see grid.Mask), so one table serves all six
+// directions.
+var classTab = buildClassTab()
+
+func buildClassTab() (tab [256]Class) {
+	l := lattice.Point{}
+	offs := grid.MaskOffsets(0)
+	for m := 0; m < 256; m++ {
+		c := config.New(l)
+		for k := 0; k < 8; k++ {
+			if m>>uint(k)&1 == 1 {
+				c.Add(l.Add(offs[k]))
+			}
+		}
+		var cl Class
+		if Property1(c, l, 0) {
+			cl |= 1
+		}
+		if Property2(c, l, 0) {
+			cl |= 2
+		}
+		cl |= Class(bits.OnesCount8(uint8(grid.Mask(m)&grid.MaskNearL))) << 2
+		cl |= Class(bits.OnesCount8(uint8(grid.Mask(m)&grid.MaskNearLp))) << 5
+		tab[m] = cl
+	}
+	return tab
+}
+
+// Classify returns the move Class for a pair neighborhood mask.
+func Classify(m grid.Mask) Class { return classTab[m] }
+
+// ValidGrid is the table-driven fast path of Valid over a bit-packed grid:
+// it reports whether the particle at the occupied cell ℓ may move to
+// ℓ′ = ℓ+d per conditions (1) and (2) of Markov chain M, step 6.
+func ValidGrid(g *grid.Grid, l lattice.Point, d lattice.Dir) bool {
+	if g.Has(l.Neighbor(d)) {
+		return false
+	}
+	return classTab[g.PairMask(l, d)].Valid()
+}

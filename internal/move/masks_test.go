@@ -1,0 +1,100 @@
+package move
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/grid"
+	"sops/internal/lattice"
+)
+
+// TestClassifyExhaustive replays every one of the 256 neighborhood masks in
+// all six directions through the reference Occupancy-interface
+// implementations and asserts the table agrees bit for bit: the canonical
+// mask layout really is direction-independent.
+func TestClassifyExhaustive(t *testing.T) {
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		offs := grid.MaskOffsets(d)
+		for m := 0; m < 256; m++ {
+			l := lattice.Point{}
+			lp := l.Neighbor(d)
+			c := config.New(l)
+			for k := 0; k < 8; k++ {
+				if m>>uint(k)&1 == 1 {
+					c.Add(l.Add(offs[k]))
+				}
+			}
+			cl := Classify(grid.Mask(m))
+			if got, want := cl.Property1(), Property1(c, l, d); got != want {
+				t.Fatalf("mask %08b dir %v: Property1 = %v, want %v", m, d, got, want)
+			}
+			if got, want := cl.Property2(), Property2(c, l, d); got != want {
+				t.Fatalf("mask %08b dir %v: Property2 = %v, want %v", m, d, got, want)
+			}
+			if got, want := cl.Degree(), c.Degree(l); got != want {
+				t.Fatalf("mask %08b dir %v: Degree = %d, want %d", m, d, got, want)
+			}
+			if got, want := cl.TargetDegree(), c.DegreeExcluding(lp, l); got != want {
+				t.Fatalf("mask %08b dir %v: TargetDegree = %d, want %d", m, d, got, want)
+			}
+			if got, want := cl.Valid(), Valid(c, l, d); got != want {
+				t.Fatalf("mask %08b dir %v: Valid = %v, want %v", m, d, got, want)
+			}
+		}
+	}
+}
+
+// TestValidGridAgainstOracle drives the grid fast path and the map-backed
+// oracle over random connected configurations (with and without holes) and
+// asserts agreement on Property 1, Property 2, and Valid for every
+// (particle, direction) pair.
+func TestValidGridAgainstOracle(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x5eed))
+		for trial := 0; trial < 40; trial++ {
+			var c *config.Config
+			if trial%2 == 0 {
+				c = config.RandomConnected(rng, 12+rng.IntN(40))
+			} else {
+				c = config.RandomTree(rng, 8+rng.IntN(25))
+			}
+			g := c.ToGrid()
+			for _, l := range c.Points() {
+				for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+					if got, want := ValidGrid(g, l, d), Valid(c, l, d); got != want {
+						t.Fatalf("seed %d: ValidGrid(%v, %v) = %v, oracle %v", seed, l, d, got, want)
+					}
+					if c.Has(l.Neighbor(d)) {
+						continue
+					}
+					cl := Classify(g.PairMask(l, d))
+					if got, want := cl.Property1(), Property1(c, l, d); got != want {
+						t.Fatalf("seed %d: Property1 mask(%v, %v) = %v, oracle %v", seed, l, d, got, want)
+					}
+					if got, want := cl.Property2(), Property2(c, l, d); got != want {
+						t.Fatalf("seed %d: Property2 mask(%v, %v) = %v, oracle %v", seed, l, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	g := config.Line(100).ToGrid()
+	l := lattice.Point{X: 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(g.PairMask(l, lattice.Dir(i%6)))
+	}
+}
+
+func BenchmarkProperty1Oracle(b *testing.B) {
+	c := config.Line(100)
+	l := lattice.Point{X: 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Property1(c, l, lattice.Dir(i%6))
+	}
+}
