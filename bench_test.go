@@ -6,10 +6,13 @@
 //	go test -bench=. -benchmem
 //
 // regenerates the full paper-versus-measured record. EXPERIMENTS.md indexes
-// the output.
+// the output and gives the equivalent `sops sweep` command for every row;
+// sweeps additionally emit a machine-readable BENCH_*.json summary (the CI
+// smoke job uploads one as an artifact on every push).
 package sops_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -261,6 +264,33 @@ func BenchmarkMixingDiagnostic(b *testing.B) {
 			b.ReportMetric(tau, "tau_perimeter")
 		})
 	}
+}
+
+// BenchmarkExperimentSweep exercises the full experiment engine — registry
+// lookup, grid expansion, worker pool, journal, deterministic aggregation —
+// on a small λ sweep, reporting end-to-end task throughput.
+func BenchmarkExperimentSweep(b *testing.B) {
+	spec := sops.ExperimentSpec{
+		Scenario:   "compress",
+		Lambdas:    []float64{2, 4, 6},
+		Sizes:      []int{20},
+		Iterations: 40_000,
+		Reps:       2,
+		Seed:       1,
+	}
+	var alpha float64
+	for i := 0; i < b.N; i++ {
+		res, err := sops.RunExperiment(context.Background(), spec,
+			sops.ExperimentOptions{Dir: b.TempDir(), Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		alpha, err = res.Summaries[len(res.Summaries)-1].Mean("alpha")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(alpha, "final_alpha_lambda6")
 }
 
 // --- microbenchmarks -------------------------------------------------------

@@ -1,29 +1,28 @@
-// Command census prints exact enumeration tables for connected particle
-// configurations: total counts (cross-checked by two algorithms), the
-// hole-free counts behind the paper's state space Ω*, the perimeter census
-// used in the Peierls arguments, and the §5 lower-bound constructions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
-	"os"
 
 	"sops/internal/enumerate"
 	"sops/internal/metrics"
 )
 
-func main() {
+// cmdCensus prints exact enumeration tables for connected particle
+// configurations: total counts (cross-checked by two algorithms), the
+// hole-free counts behind the paper's state space Ω*, the perimeter census
+// used in the Peierls arguments, and the §5 lower-bound constructions.
+func cmdCensus(args []string) error {
+	fs := flag.NewFlagSet("sops census", flag.ExitOnError)
 	var (
-		maxN    = flag.Int("max", 9, "largest particle count to enumerate (≥10 is slow)")
-		censusN = flag.Int("census", 8, "particle count for the perimeter census (0 to skip)")
-		lambda  = flag.Float64("lambda", 4, "bias for the exact stationary summary")
+		maxN    = fs.Int("max", 9, "largest particle count to enumerate (≥10 is slow)")
+		censusN = fs.Int("census", 8, "particle count for the perimeter census (0 to skip)")
+		lambda  = fs.Float64("lambda", 4, "bias for the exact stationary summary")
 	)
-	flag.Parse()
+	fs.Parse(args)
 	if *maxN < 1 {
-		fmt.Fprintln(os.Stderr, "census: -max must be ≥ 1")
-		os.Exit(1)
+		return fmt.Errorf("census: -max must be ≥ 1")
 	}
 
 	fmt.Println("# connected configurations up to translation (fixed polyforms on G∆)")
@@ -52,4 +51,5 @@ func main() {
 
 	fmt.Printf("\n# expansion threshold from Jensen's N50 (Lemma 5.6): (2·N50)^(1/100) = %.6f\n",
 		enumerate.ExpansionBoundBase())
+	return nil
 }

@@ -1,13 +1,8 @@
-// Command figures regenerates the data behind every figure of the paper's
-// evaluation at laptop scale. Pass -fig to select one; by default every
-// figure runs at a reduced size. Use -full for the paper's exact workloads
-// (n=100, millions of iterations).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"sops"
 	"sops/internal/baseline"
@@ -19,33 +14,41 @@ import (
 	"sops/internal/viz"
 )
 
-func main() {
+// cmdFigures regenerates the data behind every figure of the paper's
+// evaluation at laptop scale. Pass -fig to select one; -full uses the
+// paper's exact workloads (n=100, millions of iterations). The stochastic
+// figures are single illustrative runs; `sops sweep` produces the replicated
+// versions with confidence intervals.
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("sops figures", flag.ExitOnError)
 	var (
-		fig  = flag.String("fig", "all", "figure to regenerate: 2|3|4|8|10|11|baseline|all")
-		full = flag.Bool("full", false, "use the paper's full workload sizes (slow)")
-		seed = flag.Uint64("seed", 1, "random seed")
+		fig  = fs.String("fig", "all", "figure to regenerate: 2|3|4|8|10|11|baseline|all")
+		full = fs.Bool("full", false, "use the paper's full workload sizes (slow)")
+		seed = fs.Uint64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
-	run := func(name string, f func()) {
-		if *fig == "all" || *fig == name {
+	var err error
+	run := func(name string, f func() error) {
+		if err == nil && (*fig == "all" || *fig == name) {
 			fmt.Printf("==== figure %s ====\n", name)
-			f()
+			err = f()
 			fmt.Println()
 		}
 	}
-	run("2", func() { fig2(*full, *seed) })
+	run("2", func() error { return fig2(*full, *seed) })
 	run("3", fig3)
 	run("4", fig4)
 	run("8", fig8)
-	run("10", func() { fig10(*full, *seed) })
+	run("10", func() error { return fig10(*full, *seed) })
 	run("11", fig11)
-	run("baseline", func() { figBaseline(*seed) })
+	run("baseline", func() error { return figBaseline(*seed) })
+	return err
 }
 
 // fig2 reproduces Fig 2: compression of a line at λ=4 with periodic
 // snapshots.
-func fig2(full bool, seed uint64) {
+func fig2(full bool, seed uint64) error {
 	n, iters := 50, uint64(1_500_000)
 	if full {
 		n, iters = 100, 5_000_000
@@ -54,18 +57,21 @@ func fig2(full bool, seed uint64) {
 		N: n, Lambda: 4, Iterations: iters, Seed: seed,
 		SnapshotEvery: iters / 5,
 	})
-	fail(err)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("n=%d λ=4 from a line (paper: n=100, 5M iterations)\n", n)
 	fmt.Printf("%12s %10s %8s %9s\n", "iteration", "perimeter", "alpha", "holefree")
 	for _, s := range res.Snapshots {
 		fmt.Printf("%12d %10d %8.3f %9v\n", s.Iteration, s.Perimeter, s.Alpha, s.HoleFree)
 	}
 	fmt.Println(res.Rendering)
+	return nil
 }
 
 // fig3 demonstrates the Property-2 necessity mechanism: a caged line tip
 // with zero Property-1 moves but a Property-2 leapfrog.
-func fig3() {
+func fig3() error {
 	fmt.Println("frozen-tip cage (local mechanism of Fig 3; see EXPERIMENTS.md):")
 	c := config.New()
 	for _, p := range [][2]int{{0, 0}, {1, 0}, {2, 0}, {0, 2}, {2, -2}, {-2, 1}} {
@@ -73,26 +79,32 @@ func fig3() {
 	}
 	fmt.Print(viz.Render(c))
 	fmt.Println("tip (0,0): no valid Property-1 move; Property-2 leapfrogs remain")
+	return nil
 }
 
 // fig4 regenerates the sweep-line story of Figs 4–7: an explicit verified
 // move sequence from a configuration with a hole to a straight line.
-func fig4() {
+func fig4() error {
 	ring := config.New()
 	for _, p := range [][2]int{{1, 0}, {0, 1}, {-1, 1}, {-1, 0}, {0, -1}, {1, -1}, {2, 0}, {2, -1}} {
 		ring.Add(pt(p[0], p[1]))
 	}
 	moves, err := linesweep.Certify(ring, linesweep.Options{})
-	fail(err)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("start (has hole: %v):\n%s", ring.HasHoles(), viz.Render(ring))
 	fmt.Printf("certificate: %d valid moves to a straight line (Lemma 3.7)\n", len(moves))
 	final, err := linesweep.Verify(ring, moves)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("end:\n%s", viz.Render(final))
+	return nil
 }
 
 // fig8 prints the SAW counts and connective-constant estimates (Thm 4.2).
-func fig8() {
+func fig8() error {
 	counts := saw.Count(20)
 	growth := saw.GrowthEstimates(counts)
 	ratio := saw.RatioEstimates(counts)
@@ -101,10 +113,11 @@ func fig8() {
 	for l := 1; l <= 20; l++ {
 		fmt.Printf("%4d %14d %10.5f %10.5f\n", l, counts[l], growth[l], ratio[l])
 	}
+	return nil
 }
 
 // fig10 reproduces Fig 10: no compression at λ=2 even after long runs.
-func fig10(full bool, seed uint64) {
+func fig10(full bool, seed uint64) error {
 	n, iters := 50, uint64(6_000_000)
 	if full {
 		n, iters = 100, 20_000_000
@@ -113,46 +126,48 @@ func fig10(full bool, seed uint64) {
 		N: n, Lambda: 2, Iterations: iters, Seed: seed,
 		SnapshotEvery: iters / 2,
 	})
-	fail(err)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("n=%d λ=2 from a line (paper: n=100, 10M and 20M iterations)\n", n)
 	fmt.Printf("%12s %10s %8s %8s\n", "iteration", "perimeter", "alpha", "beta")
 	for _, s := range res.Snapshots {
 		fmt.Printf("%12d %10d %8.3f %8.3f\n", s.Iteration, s.Perimeter, s.Alpha, s.Beta)
 	}
 	fmt.Printf("still expanded: β=%.3f (α-compression would need α≈1)\n", res.Beta)
+	return nil
 }
 
 // fig11 prints all 11 connected 3-particle configurations.
-func fig11() {
+func fig11() error {
 	all := enumerate.AllHoleFree(3)
 	fmt.Printf("the %d connected hole-free 3-particle configurations:\n\n", len(all))
 	for i, c := range all {
 		fmt.Printf("(%d)\n%s\n", i+1, viz.Render(c))
 	}
+	return nil
 }
 
 // figBaseline compares the leader-based hexagon builder against the
 // stochastic algorithm.
-func figBaseline(seed uint64) {
+func figBaseline(seed uint64) error {
 	n := 50
 	start := config.Line(n)
 	res, err := baseline.Run(start)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("leader-based hexagon formation: n=%d moves=%d relocations=%d final α=%.3f\n",
 		n, res.Moves, res.Relocations, float64(res.Final.Perimeter())/float64(sops.PMin(n)))
 	sres, err := sops.Compress(sops.Options{N: n, Lambda: 4, Iterations: 1_500_000, Seed: seed})
-	fail(err)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("stochastic algorithm (λ=4):    n=%d moves=%d (of %d iterations) final α=%.3f\n",
 		n, sres.Moves, sres.Iterations, sres.Alpha)
 	fmt.Println("the baseline reaches exactly pmin but needs a leader and routing state;")
 	fmt.Println("the stochastic algorithm is leaderless, oblivious, and self-stabilizing")
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
-	}
+	return nil
 }
 
 func pt(x, y int) lattice.Point { return lattice.Point{X: x, Y: y} }

@@ -1,0 +1,120 @@
+// Command sops is the unified experiment CLI: every paper figure and every
+// registered scenario is one command with uniform flags.
+//
+// Usage:
+//
+//	sops run            one simulation run (chain M or amoebot A)
+//	sops sweep          declarative, resumable scenario sweep
+//	sops resume         continue an interrupted sweep from its directory
+//	sops figures        regenerate the data behind the paper's figures
+//	sops census         exact enumeration tables (Ω*, perimeter census)
+//	sops list-scenarios print the workload registry
+//
+// Examples:
+//
+//	sops run -n 100 -lambda 4 -render
+//	sops sweep -scenario phase -sizes 100 -reps 5 -dir out/phase
+//	sops resume -dir out/phase
+//	sops figures -fig 2
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "resume":
+		err = cmdResume(args)
+	case "figures":
+		err = cmdFigures(args)
+	case "census":
+		err = cmdCensus(args)
+	case "list-scenarios":
+		err = cmdListScenarios(args)
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "sops: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sops:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `sops — compression in self-organizing particle systems
+
+usage: sops <command> [flags]
+
+commands:
+  run             one simulation run (chain M or amoebot Algorithm A)
+  sweep           declarative scenario sweep; resumable with -dir
+  resume          continue an interrupted sweep from its directory
+  figures         regenerate the data behind the paper's figures
+  census          exact enumeration tables (Ω*, perimeter census, N50)
+  list-scenarios  print the workload registry and per-scenario defaults
+
+run 'sops <command> -h' for the command's flags.
+`)
+}
+
+// parseFloats parses a comma-separated float list ("" → nil).
+func parseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseInts parses a comma-separated int list ("" → nil).
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseStrings parses a comma-separated string list ("" → nil).
+func parseStrings(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(tok))
+	}
+	return out
+}

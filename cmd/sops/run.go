@@ -1,10 +1,3 @@
-// Command compress runs the compression Markov chain M or the distributed
-// amoebot Algorithm A from the command line and reports compression metrics.
-//
-// Usage:
-//
-//	compress -n 100 -lambda 4 -iters 5000000 -snapshots 5 -render
-//	compress -n 100 -lambda 4 -distributed -crash 0.1
 package main
 
 import (
@@ -13,31 +6,38 @@ import (
 	"os"
 
 	"sops"
+	"sops/internal/experiment"
 )
 
-func main() {
+// cmdRun executes one simulation run and prints its metrics — the old
+// cmd/compress, with the engine selected by name for uniformity with sweep.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("sops run", flag.ExitOnError)
 	var (
-		n           = flag.Int("n", 100, "number of particles")
-		lambda      = flag.Float64("lambda", 4, "bias parameter λ (>2+√2 compresses, <2.17 expands)")
-		iters       = flag.Uint64("iters", 0, "iterations/activations (default 200·n²)")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		start       = flag.String("start", "line", "starting shape: line|spiral|random|tree")
-		distributed = flag.Bool("distributed", false, "run the distributed amoebot Algorithm A")
-		workers     = flag.Int("workers", 0, "drive the distributed run with this many concurrent goroutines")
-		crash       = flag.Float64("crash", 0, "fraction of particles to crash-fail (distributed only)")
-		snapshots   = flag.Int("snapshots", 5, "number of equally spaced snapshots to print")
-		render      = flag.Bool("render", true, "print the final configuration")
-		svgPath     = flag.String("svg", "", "write the final configuration as SVG to this file")
+		n         = fs.Int("n", 100, "number of particles")
+		lambda    = fs.Float64("lambda", 4, "bias parameter λ (>2+√2 compresses, <2.17 expands)")
+		iters     = fs.Uint64("iters", 0, "iterations/activations (default 200·n²)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		start     = fs.String("start", "line", "starting shape: line|spiral|random|tree")
+		engine    = fs.String("engine", experiment.EngineChain, "execution engine: chain|amoebot")
+		workers   = fs.Int("workers", 0, "drive an amoebot run with this many concurrent goroutines")
+		crash     = fs.Float64("crash", 0, "fraction of particles to crash-fail (amoebot engine only)")
+		snapshots = fs.Int("snapshots", 5, "number of equally spaced snapshots to print")
+		render    = fs.Bool("render", true, "print the final configuration")
+		svgPath   = fs.String("svg", "", "write the final configuration as SVG to this file")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
+	if *engine != experiment.EngineChain && *engine != experiment.EngineAmoebot {
+		return fmt.Errorf("unknown engine %q (want %s|%s)", *engine, experiment.EngineChain, experiment.EngineAmoebot)
+	}
 	opts := sops.Options{
 		N:           *n,
 		Lambda:      *lambda,
 		Iterations:  *iters,
 		Seed:        *seed,
 		Start:       sops.StartShape(*start),
-		Distributed: *distributed,
+		Distributed: *engine == experiment.EngineAmoebot,
 	}
 	if *crash > 0 {
 		opts.CrashFraction = *crash
@@ -55,12 +55,11 @@ func main() {
 
 	res, err := sops.Compress(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "compress:", err)
-		os.Exit(1)
+		return err
 	}
 
 	mode := "sequential chain M"
-	if *distributed {
+	if opts.Distributed {
 		mode = "distributed algorithm A"
 	}
 	fmt.Printf("# %s: n=%d λ=%.3g start=%s seed=%d\n", mode, *n, *lambda, *start, *seed)
@@ -74,7 +73,7 @@ func main() {
 	}
 	fmt.Printf("final: iterations=%d moves=%d perimeter=%d edges=%d triangles=%d α=%.3f β=%.3f",
 		res.Iterations, res.Moves, res.Perimeter, res.Edges, res.Triangles, res.Alpha, res.Beta)
-	if *distributed {
+	if opts.Distributed {
 		fmt.Printf(" rounds=%d crashed=%d", res.Rounds, len(res.Crashed))
 	}
 	fmt.Println()
@@ -83,9 +82,9 @@ func main() {
 	}
 	if *svgPath != "" {
 		if err := os.WriteFile(*svgPath, []byte(res.SVG()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "compress: writing svg:", err)
-			os.Exit(1)
+			return fmt.Errorf("writing svg: %w", err)
 		}
 		fmt.Println("wrote", *svgPath)
 	}
+	return nil
 }

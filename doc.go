@@ -15,9 +15,11 @@
 //
 // This root package is the high-level facade: Compress runs either the
 // sequential Markov chain M or the distributed amoebot Algorithm A and
-// reports compression metrics and snapshots. The substrates live under
-// internal/ (lattice geometry, configurations, the chain, the amoebot
-// world and scheduler, exact enumeration, self-avoiding walks, and the
-// benchmark machinery); see DESIGN.md for the full inventory and
+// reports compression metrics and snapshots, and RunExperiment drives
+// declarative, resumable scenario sweeps over the workload registry (what
+// `cmd/sops sweep` wraps). The substrates live under internal/ (lattice
+// geometry, configurations, the chain, the amoebot world and scheduler, the
+// bit-packed grid engine, exact enumeration, self-avoiding walks, and the
+// experiment engine); see DESIGN.md for the full inventory and
 // EXPERIMENTS.md for the paper-versus-measured record.
 package sops

@@ -1,6 +1,7 @@
 package sops_test
 
 import (
+	"context"
 	"fmt"
 
 	"sops"
@@ -34,4 +35,45 @@ func ExampleCompressionThreshold() {
 	// Output:
 	// compression proven above λ = 3.4142
 	// expansion proven below λ = 2.1720
+}
+
+// ExampleRunExperiment sweeps λ across both proven regimes with the
+// experiment engine. Identical specs produce byte-identical summaries
+// regardless of worker count, so the comparison below is deterministic.
+func ExampleRunExperiment() {
+	res, err := sops.RunExperiment(context.Background(), sops.ExperimentSpec{
+		Scenario:   "compress",
+		Lambdas:    []float64{1.5, 6}, // expansion regime, compression regime
+		Sizes:      []int{19},
+		Iterations: 100000,
+		Reps:       2,
+		Seed:       11,
+	}, sops.ExperimentOptions{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range res.Summaries {
+		alpha, _ := s.Mean("alpha")
+		beta, _ := s.Mean("beta")
+		fmt.Printf("λ=%g: compressed=%v (α=%.1f), expanded=%v (β=%.1f)\n",
+			s.Point.Lambda, alpha < 2, alpha, beta > 0.5, beta)
+	}
+	// Output:
+	// λ=1.5: compressed=false (α=2.5), expanded=true (β=0.8)
+	// λ=6: compressed=true (α=1.2), expanded=false (β=0.4)
+}
+
+// ExampleScenarios lists a few entries of the workload registry that
+// `sops sweep -scenario <name>` accepts.
+func ExampleScenarios() {
+	for _, info := range sops.Scenarios() {
+		switch info.Name {
+		case "compress", "phase", "scaling":
+			fmt.Println(info.Name)
+		}
+	}
+	// Output:
+	// compress
+	// phase
+	// scaling
 }

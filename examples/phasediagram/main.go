@@ -1,15 +1,17 @@
 // Phasediagram sweeps the bias λ across the proven expansion regime
 // (λ < 2.17), the open transition window, and the proven compression regime
-// (λ > 2+√2), printing the long-run compression ratio for each. Sweep points
-// run concurrently.
+// (λ > 2+√2), printing the long-run compression ratio for each. The sweep
+// runs through the experiment engine — the same registry, worker pool, and
+// deterministic aggregation behind `sops sweep -scenario phase` — with
+// replication and confidence intervals for free.
 //
 //	go run ./examples/phasediagram
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sync"
 
 	"sops"
 )
@@ -19,35 +21,27 @@ func main() {
 		n     = 60
 		iters = 1_500_000
 	)
-	lambdas := []float64{0.5, 1.0, 1.5, 2.0, 2.17, 2.5, 3.0, 3.41, 4.0, 5.0, 6.0}
-
-	type row struct {
-		alpha, beta float64
+	res, err := sops.RunExperiment(context.Background(), sops.ExperimentSpec{
+		Scenario:   "compress",
+		Lambdas:    []float64{0.5, 1.0, 1.5, 2.0, 2.17, 2.5, 3.0, 3.41, 4.0, 5.0, 6.0},
+		Sizes:      []int{n},
+		Iterations: iters,
+		Reps:       3,
+		Seed:       1000,
+	}, sops.ExperimentOptions{})
+	if err != nil {
+		log.Fatal(err)
 	}
-	rows := make([]row, len(lambdas))
-	var wg sync.WaitGroup
-	for i, lam := range lambdas {
-		wg.Add(1)
-		go func(i int, lam float64) {
-			defer wg.Done()
-			res, err := sops.Compress(sops.Options{
-				N: n, Lambda: lam, Iterations: iters, Seed: 1000 + uint64(i),
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			rows[i] = row{alpha: res.Alpha, beta: res.Beta}
-		}(i, lam)
-	}
-	wg.Wait()
 
-	fmt.Printf("phase behavior, n=%d, %d iterations per point\n", n, iters)
+	fmt.Printf("phase behavior, n=%d, %d iterations per point, %d reps\n", n, iters, res.Spec.Reps)
 	fmt.Printf("expansion proven below %.4f; compression proven above %.4f\n\n",
 		sops.ExpansionThreshold(), sops.CompressionThreshold())
-	fmt.Printf("%8s %8s %7s   %s\n", "lambda", "alpha", "beta", "")
-	for i, lam := range lambdas {
+	fmt.Printf("%8s %8s %7s %7s   %s\n", "lambda", "alpha", "beta", "±95%", "")
+	for _, s := range res.Summaries {
+		lam := s.Point.Lambda
+		alpha, beta := s.ByMetric["alpha"], s.ByMetric["beta"]
 		bar := ""
-		for b := 0.0; b < rows[i].beta; b += 0.05 {
+		for b := 0.0; b < beta.Mean; b += 0.05 {
 			bar += "█"
 		}
 		regime := ""
@@ -59,6 +53,7 @@ func main() {
 		default:
 			regime = "transition (open)"
 		}
-		fmt.Printf("%8.2f %8.2f %7.2f   %-22s %s\n", lam, rows[i].alpha, rows[i].beta, bar, regime)
+		fmt.Printf("%8.2f %8.2f %7.2f %7.2f   %-22s %s\n",
+			lam, alpha.Mean, beta.Mean, beta.CI95(), bar, regime)
 	}
 }

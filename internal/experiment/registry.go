@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Scenario is a named, runnable workload. Run must be deterministic given
+// the (normalized) Spec and the Task: all randomness derives from Task.Seed.
+type Scenario struct {
+	// Name is the registry key (kebab-case).
+	Name string
+	// Description is a one-line summary for `sops list-scenarios`.
+	Description string
+	// Defaults fills empty Spec axes with scenario-appropriate values
+	// before global defaults apply. May be nil.
+	Defaults func(*Spec)
+	// Run executes one task and returns its metrics.
+	Run func(Spec, Task) (Metrics, error)
+}
+
+// Info describes a registered scenario.
+type Info struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the registry. It panics on an empty name, a
+// nil Run, or a duplicate registration — all programmer errors.
+func Register(s Scenario) {
+	if s.Name == "" || s.Run == nil {
+		panic("experiment: Register requires a name and a Run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("experiment: scenario %q registered twice", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// lookup resolves a scenario name.
+func lookup(name string) (Scenario, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return Scenario{}, fmt.Errorf("experiment: unknown scenario %q (have %v)", name, names)
+	}
+	return s, nil
+}
+
+// List returns every registered scenario, sorted by name.
+func List() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, Info{Name: s.Name, Description: s.Description})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DefaultSpec returns the named scenario's fully normalized default Spec —
+// what `sops sweep -scenario name` runs with no axis flags.
+func DefaultSpec(name string) (Spec, error) {
+	sc, err := lookup(name)
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{Scenario: name}.normalized(sc)
+}

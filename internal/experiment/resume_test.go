@@ -1,0 +1,229 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// summariesJSON runs spec to completion and returns the marshaled
+// summaries.
+func summariesJSON(t *testing.T, spec Spec, opt RunOptions) []byte {
+	t.Helper()
+	res, err := Run(context.Background(), spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res.Summaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestResumeByteIdentical is the acceptance criterion of the experiment
+// engine: a sweep interrupted mid-run and re-invoked with the same spec
+// resumes from the journal, and the final PointSummaries are byte-identical
+// to an uninterrupted run with the same seed.
+func TestResumeByteIdentical(t *testing.T) {
+	var cancel context.CancelFunc
+	var calls atomic.Int64
+	const cancelAfter = 5
+	name := testScenario(t, func(sp Spec, task Task) (Metrics, error) {
+		if calls.Add(1) == cancelAfter && cancel != nil {
+			cancel()
+		}
+		// Metrics depend only on the task, as the determinism contract
+		// requires; the seed makes them vary irregularly across the grid.
+		return Metrics{
+			"value": float64(task.Seed%1000) / 7,
+			"rep":   float64(task.Rep),
+		}, nil
+	})
+	spec := Spec{
+		Scenario: name,
+		Lambdas:  []float64{1, 2, 3},
+		Sizes:    []int{5, 10},
+		Reps:     3,
+		Seed:     1234,
+	}
+
+	// Interrupted run: cancel fires mid-sweep, Run must report the
+	// interruption and leave a resumable journal behind.
+	dirA := t.TempDir()
+	var ctx context.Context
+	ctx, cancel = context.WithCancel(context.Background())
+	_, err := Run(ctx, spec, RunOptions{Dir: dirA, Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	journaled := countJournalLines(t, dirA)
+	total := 3 * 2 * 3
+	if journaled == 0 || journaled >= total {
+		t.Fatalf("journal holds %d of %d tasks; interruption did not land mid-run", journaled, total)
+	}
+
+	// Resume with the same spec: only the missing tasks run.
+	cancel = nil
+	callsBefore := calls.Load()
+	res, err := Run(context.Background(), spec, RunOptions{Dir: dirA, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksReplayed != journaled {
+		t.Errorf("replayed %d tasks, want %d", res.TasksReplayed, journaled)
+	}
+	if res.TasksRun != total-journaled {
+		t.Errorf("resume executed %d tasks, want %d", res.TasksRun, total-journaled)
+	}
+	if executed := calls.Load() - callsBefore; executed != int64(total-journaled) {
+		t.Errorf("resume invoked the scenario %d times, want %d", executed, total-journaled)
+	}
+	resumed, err := json.Marshal(res.Summaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted control run in a fresh directory.
+	control := summariesJSON(t, spec, RunOptions{Dir: t.TempDir(), Workers: 4})
+	if string(resumed) != string(control) {
+		t.Fatalf("resumed summaries differ from uninterrupted run:\nresumed: %s\ncontrol: %s", resumed, control)
+	}
+
+	// And the emitted results files agree byte for byte too.
+	a, err := os.ReadFile(filepath.Join(dirA, ResultsJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirB := t.TempDir()
+	summariesJSON(t, spec, RunOptions{Dir: dirB})
+	b, err := os.ReadFile(filepath.Join(dirB, ResultsJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("results.jsonl differs between resumed and uninterrupted runs")
+	}
+}
+
+// TestResumeReplaysFailures: failed tasks are journaled and stay failed on
+// resume instead of rerunning forever.
+func TestResumeReplaysFailures(t *testing.T) {
+	var calls atomic.Int64
+	name := testScenario(t, func(sp Spec, task Task) (Metrics, error) {
+		calls.Add(1)
+		if task.Rep == 1 {
+			return nil, fmt.Errorf("deterministic failure")
+		}
+		return Metrics{"v": 1}, nil
+	})
+	spec := Spec{Scenario: name, Reps: 3, Seed: 9}
+	dir := t.TempDir()
+	first, err := Run(context.Background(), spec, RunOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", first.Failures)
+	}
+	callsAfter := calls.Load()
+	second, err := Run(context.Background(), spec, RunOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != callsAfter {
+		t.Error("resume re-executed journaled tasks")
+	}
+	if second.Failures != 1 || second.TasksReplayed != 3 {
+		t.Errorf("resume: failures=%d replayed=%d, want 1/3", second.Failures, second.TasksReplayed)
+	}
+}
+
+// TestResumeToleratesTornJournalLine: a hard kill can leave a partial final
+// line; the loader skips it and the task reruns.
+func TestResumeToleratesTornJournalLine(t *testing.T) {
+	name := testScenario(t, func(sp Spec, task Task) (Metrics, error) {
+		return Metrics{"v": float64(task.Rep)}, nil
+	})
+	spec := Spec{Scenario: name, Reps: 2, Seed: 4}
+	dir := t.TempDir()
+	control := summariesJSON(t, spec, RunOptions{Dir: dir})
+
+	// Corrupt the journal: keep the first line, tear the second.
+	path := filepath.Join(dir, JournalFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	if !sc.Scan() {
+		t.Fatal("journal empty")
+	}
+	torn := sc.Text() + "\n" + `{"point":0,"rep":1,"se`
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(context.Background(), spec, RunOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksReplayed != 1 || res.TasksRun != 1 {
+		t.Errorf("replayed=%d run=%d, want 1/1", res.TasksReplayed, res.TasksRun)
+	}
+	got, err := json.Marshal(res.Summaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(control) {
+		t.Error("summaries after torn-line recovery differ")
+	}
+}
+
+// TestResumeRejectsForeignJournal: a journal whose seeds do not match the
+// spec (hand-edited, or copied between directories) is rejected instead of
+// silently polluting the summaries.
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	name := testScenario(t, func(sp Spec, task Task) (Metrics, error) {
+		return Metrics{"v": 1}, nil
+	})
+	spec := Spec{Scenario: name, Reps: 2, Seed: 4}
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), spec, RunOptions{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	bad := journalEntry{Point: 0, Rep: 0, Seed: 12345, Metrics: Metrics{"v": 99}}
+	line, _ := json.Marshal(bad)
+	f, err := os.OpenFile(filepath.Join(dir, JournalFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(append(line, '\n'))
+	f.Close()
+	if _, err := Run(context.Background(), spec, RunOptions{Dir: dir}); err == nil {
+		t.Fatal("journal with wrong seeds must be rejected")
+	}
+}
+
+func countJournalLines(t *testing.T, dir string) int {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,260 @@
+package experiment
+
+import (
+	"fmt"
+
+	"sops/internal/baseline"
+	"sops/internal/chain"
+	"sops/internal/metrics"
+	"sops/internal/runner"
+	"sops/internal/stats"
+)
+
+// The built-in scenarios: every workload the five pre-consolidation binaries
+// and the benchmark harness ran, named so a sweep is a registry entry plus
+// axes instead of a new binary.
+func init() {
+	Register(Scenario{
+		Name:        "compress",
+		Description: "compression run (chain M or amoebot A via the engine axis); metrics alpha/beta/perimeter/moves",
+		Run:         runCompress,
+	})
+	Register(Scenario{
+		Name:        "phase",
+		Description: "λ phase diagram: compress swept over the paper's λ grid with a doubled iteration budget",
+		Defaults: func(s *Spec) {
+			if len(s.Lambdas) == 0 {
+				s.Lambdas = []float64{0.5, 1, 1.5, 2, 2.17, 2.5, 3, 3.41, 4, 5, 6}
+			}
+		},
+		Run: func(sp Spec, t Task) (Metrics, error) {
+			if sp.Iterations == 0 {
+				// The long-run measures of the phase plot need more than the
+				// 200·n² compression default to stabilize near λc.
+				sp.Iterations = 400 * uint64(t.Point.N) * uint64(t.Point.N)
+			}
+			return runCompress(sp, t)
+		},
+	})
+	Register(Scenario{
+		Name:        "fault-tolerance",
+		Description: "distributed amoebot run with crash failures (§3.3); healthy particles compress around the dead",
+		Defaults: func(s *Spec) {
+			if len(s.Engines) == 0 {
+				s.Engines = []string{EngineAmoebot}
+			}
+			if len(s.CrashFractions) == 0 {
+				s.CrashFractions = []float64{0.1}
+			}
+			if len(s.Lambdas) == 0 {
+				s.Lambdas = []float64{5}
+			}
+		},
+		Run: runCompress,
+	})
+	Register(Scenario{
+		Name:        "scaling",
+		Description: "iterations until 2·pmin compression from a line (§3.7 conjecture); sweep sizes and fit the power law",
+		Defaults: func(s *Spec) {
+			if len(s.Sizes) == 0 {
+				s.Sizes = []int{16, 32, 64}
+			}
+		},
+		Run: runScaling,
+	})
+	Register(Scenario{
+		Name:        "ablation-degree-guard",
+		Description: "chain M with condition (1) removed: holes form (Lemma 3.2 ablation)",
+		Defaults: func(s *Spec) {
+			if len(s.Lambdas) == 0 {
+				s.Lambdas = []float64{1}
+			}
+			if len(s.Sizes) == 0 {
+				s.Sizes = []int{20}
+			}
+			if len(s.Starts) == 0 {
+				s.Starts = []string{string(runner.StartSpiral)}
+			}
+		},
+		Run: runAblation,
+	})
+	Register(Scenario{
+		Name:        "baseline-hexagon",
+		Description: "leader-based hexagon builder (§1.3 baseline): reaches pmin exactly but needs a leader",
+		Run:         runBaseline,
+	})
+	Register(Scenario{
+		Name:        "mixing",
+		Description: "integrated autocorrelation time of the perimeter series (empirical proxy for §3.7 mixing)",
+		Defaults: func(s *Spec) {
+			if len(s.Lambdas) == 0 {
+				s.Lambdas = []float64{3, 4, 6}
+			}
+			if len(s.Sizes) == 0 {
+				s.Sizes = []int{40}
+			}
+		},
+		Run: runMixing,
+	})
+}
+
+func runCompress(sp Spec, t Task) (Metrics, error) {
+	res, err := runner.Compress(runner.Options{
+		N:             t.Point.N,
+		Lambda:        t.Point.Lambda,
+		Iterations:    sp.Iterations,
+		Seed:          t.Seed,
+		Start:         runner.StartShape(t.Point.Start),
+		Distributed:   t.Point.Engine == EngineAmoebot,
+		CrashFraction: t.Point.Crash,
+		SnapshotEvery: sp.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := Metrics{
+		"alpha":     res.Alpha,
+		"beta":      res.Beta,
+		"perimeter": float64(res.Perimeter),
+		"edges":     float64(res.Edges),
+		"moves":     float64(res.Moves),
+		"hole_free": b2f(res.HoleFree),
+	}
+	for _, s := range res.Snapshots {
+		m[fmt.Sprintf("alpha@%d", s.Iteration)] = s.Alpha
+	}
+	if t.Point.Engine == EngineAmoebot {
+		m["rounds"] = float64(res.Rounds)
+		if t.Point.Crash > 0 {
+			m["crashed"] = float64(len(res.Crashed))
+		}
+	}
+	return m, nil
+}
+
+func runScaling(sp Spec, t Task) (Metrics, error) {
+	if err := requireChain(t); err != nil {
+		return nil, err
+	}
+	n := t.Point.N
+	start, err := runner.NewStartConfig(runner.StartShape(t.Point.Start), n, t.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c, err := chain.New(start, t.Point.Lambda, t.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cap := sp.Iterations
+	if cap == 0 {
+		cap = 400 * uint64(n) * uint64(n) * uint64(n)
+	}
+	target := 2 * metrics.PMin(n)
+	done := c.RunUntil(cap, uint64(n*n/4+1), func(c *chain.Chain) bool {
+		return c.Perimeter() <= target
+	})
+	if c.Perimeter() > target {
+		return nil, fmt.Errorf("hit cap %d without reaching 2·pmin (n=%d)", cap, n)
+	}
+	return Metrics{"iters_to_2pmin": float64(done)}, nil
+}
+
+func runAblation(sp Spec, t Task) (Metrics, error) {
+	if err := requireChain(t); err != nil {
+		return nil, err
+	}
+	start, err := runner.NewStartConfig(runner.StartShape(t.Point.Start), t.Point.N, t.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c, err := chain.New(start, t.Point.Lambda, t.Seed, chain.WithoutDegreeGuard())
+	if err != nil {
+		return nil, err
+	}
+	budget := sp.Iterations
+	if budget == 0 {
+		budget = 8000
+	}
+	// Holes can heal, so the run is sampled every 200 steps rather than only
+	// at the end.
+	const batch = 200
+	m := Metrics{"hole_formed": 0}
+	for done := uint64(0); done < budget; {
+		k := uint64(batch)
+		if done+k > budget {
+			k = budget - done
+		}
+		c.Run(k)
+		done += k
+		if c.Config().HasHoles() {
+			m["hole_formed"] = 1
+			m["steps_to_first_hole"] = float64(done)
+			break
+		}
+	}
+	return m, nil
+}
+
+func runBaseline(_ Spec, t Task) (Metrics, error) {
+	if err := requireChain(t); err != nil {
+		return nil, err
+	}
+	start, err := runner.NewStartConfig(runner.StartShape(t.Point.Start), t.Point.N, t.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := baseline.Run(start)
+	if err != nil {
+		return nil, err
+	}
+	return Metrics{
+		"surface_moves": float64(res.Moves),
+		"relocations":   float64(res.Relocations),
+		"alpha":         metrics.Alpha(res.Final.Perimeter(), t.Point.N),
+	}, nil
+}
+
+func runMixing(sp Spec, t Task) (Metrics, error) {
+	if err := requireChain(t); err != nil {
+		return nil, err
+	}
+	n := t.Point.N
+	start, err := runner.NewStartConfig(runner.StartShape(t.Point.Start), n, t.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c, err := chain.New(start, t.Point.Lambda, t.Seed)
+	if err != nil {
+		return nil, err
+	}
+	burn := sp.Iterations
+	if burn == 0 {
+		burn = 250 * uint64(n) * uint64(n)
+	}
+	c.Run(burn)
+	series := make([]float64, 10_000)
+	for k := range series {
+		c.Run(uint64(n)) // thin by n activations per sample
+		series[k] = float64(c.Perimeter())
+	}
+	return Metrics{
+		"tau_perimeter": stats.IntegratedAutocorrTime(series),
+		"ess":           stats.EffectiveSampleSize(series),
+	}, nil
+}
+
+// requireChain rejects tasks whose engine axis asks the sequential-only
+// scenarios for an amoebot run.
+func requireChain(t Task) error {
+	if t.Point.Engine != EngineChain {
+		return fmt.Errorf("scenario requires engine %q, got %q", EngineChain, t.Point.Engine)
+	}
+	return nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,189 @@
+// Package experiment is the declarative, resumable experiment engine of the
+// repository. An Experiment Spec names a scenario from the registry and
+// sweeps it over axes (λ, particle count, start shape, engine, crash
+// fraction) with per-point replication; Run executes the resulting task grid
+// on a worker pool, journaling every completed (point, rep) task to a JSONL
+// file so an interrupted sweep resumes where it left off, and emits
+// machine-readable results (JSONL + CSV + a BENCH_*.json summary).
+//
+// Determinism contract: every task derives its seed from (Spec.Seed, point
+// index, rep), and aggregation always folds samples in rep order, so the
+// final PointSummaries are byte-identical for a given normalized Spec
+// regardless of worker count, scheduling order, or how many times the sweep
+// was interrupted and resumed.
+package experiment
+
+import (
+	"fmt"
+
+	"sops/internal/runner"
+)
+
+// Engine names for the Spec.Engines axis.
+const (
+	// EngineChain runs the sequential Markov chain M.
+	EngineChain = "chain"
+	// EngineAmoebot runs the distributed amoebot Algorithm A under a
+	// Poisson-clock scheduler.
+	EngineAmoebot = "amoebot"
+)
+
+// Spec declares one experiment: a scenario from the registry, swept over the
+// cross product of its axes. Empty axes are filled first from the scenario's
+// defaults and then from global defaults (λ=4, n=50, line start, chain
+// engine, no crashes), so the zero-but-for-Scenario Spec is runnable.
+//
+// A Spec is the identity of a sweep: Run persists the normalized Spec next
+// to the journal and refuses to resume a directory whose recorded Spec
+// differs. Execution knobs that cannot change results (worker count,
+// progress output) live in RunOptions instead.
+type Spec struct {
+	// Scenario is a registry name; see List.
+	Scenario string `json:"scenario"`
+	// Lambdas are the bias values to sweep.
+	Lambdas []float64 `json:"lambdas"`
+	// Sizes are the particle counts to sweep.
+	Sizes []int `json:"sizes"`
+	// Starts are starting shapes: line|spiral|random|tree.
+	Starts []string `json:"starts"`
+	// Engines are execution engines: chain|amoebot.
+	Engines []string `json:"engines"`
+	// CrashFractions are crash-failure fractions (amoebot engine only).
+	CrashFractions []float64 `json:"crash_fractions"`
+	// Reps is the number of independent replications per sweep point
+	// (default 1).
+	Reps int `json:"reps"`
+	// Iterations is the per-run budget; zero lets the scenario choose
+	// (typically 200·n² for compression runs, a 400·n³ cap for scaling).
+	Iterations uint64 `json:"iterations,omitempty"`
+	// SnapshotEvery asks scenarios that support it to record mid-run
+	// snapshot metrics at this cadence; zero disables snapshots.
+	SnapshotEvery uint64 `json:"snapshot_every,omitempty"`
+	// Seed is the base seed all task seeds derive from.
+	Seed uint64 `json:"seed"`
+}
+
+// Point is one sweep coordinate: a concrete assignment of every axis.
+type Point struct {
+	Lambda float64 `json:"lambda"`
+	N      int     `json:"n"`
+	Start  string  `json:"start"`
+	Engine string  `json:"engine"`
+	Crash  float64 `json:"crash"`
+}
+
+func (p Point) String() string {
+	s := fmt.Sprintf("λ=%g n=%d %s/%s", p.Lambda, p.N, p.Start, p.Engine)
+	if p.Crash > 0 {
+		s += fmt.Sprintf(" crash=%g", p.Crash)
+	}
+	return s
+}
+
+// Task is one unit of work: a sweep point with a replication index and a
+// derived seed. Scenario Run functions must be deterministic given the task.
+type Task struct {
+	Point      Point
+	PointIndex int
+	Rep        int
+	Seed       uint64
+}
+
+// Metrics is a bag of named measurements produced by one run.
+type Metrics map[string]float64
+
+// normalized fills empty axes (scenario defaults first, then global
+// defaults), clamps Reps, and validates every axis value. The normalized
+// Spec is what gets journaled and what task seeds derive from.
+func (s Spec) normalized(sc Scenario) (Spec, error) {
+	if sc.Defaults != nil {
+		sc.Defaults(&s)
+	}
+	if len(s.Lambdas) == 0 {
+		s.Lambdas = []float64{4}
+	}
+	if len(s.Sizes) == 0 {
+		s.Sizes = []int{50}
+	}
+	if len(s.Starts) == 0 {
+		s.Starts = []string{string(runner.StartLine)}
+	}
+	if len(s.Engines) == 0 {
+		s.Engines = []string{EngineChain}
+	}
+	if len(s.CrashFractions) == 0 {
+		s.CrashFractions = []float64{0}
+	}
+	if s.Reps < 1 {
+		s.Reps = 1
+	}
+	for _, l := range s.Lambdas {
+		if l <= 0 {
+			return s, fmt.Errorf("experiment: λ must be positive, got %v", l)
+		}
+	}
+	for _, n := range s.Sizes {
+		if n < 1 {
+			return s, fmt.Errorf("experiment: size must be positive, got %d", n)
+		}
+	}
+	for _, st := range s.Starts {
+		if !validStart(st) {
+			return s, fmt.Errorf("experiment: unknown start shape %q", st)
+		}
+	}
+	anyChain := false
+	for _, e := range s.Engines {
+		switch e {
+		case EngineChain:
+			anyChain = true
+		case EngineAmoebot:
+		default:
+			return s, fmt.Errorf("experiment: unknown engine %q (want %s|%s)", e, EngineChain, EngineAmoebot)
+		}
+	}
+	for _, c := range s.CrashFractions {
+		if c < 0 || c >= 1 {
+			return s, fmt.Errorf("experiment: crash fraction must be in [0,1), got %v", c)
+		}
+		if c > 0 && anyChain {
+			return s, fmt.Errorf("experiment: crash fraction %v requires engine %q only", c, EngineAmoebot)
+		}
+	}
+	return s, nil
+}
+
+func validStart(s string) bool {
+	for _, shape := range runner.StartShapes() {
+		if s == string(shape) {
+			return true
+		}
+	}
+	return false
+}
+
+// points expands the axes into the sweep grid. The order — λ outermost, then
+// size, start, engine, crash — is part of the determinism contract: point
+// indices (and hence task seeds and journal entries) depend on it.
+func (s Spec) points() []Point {
+	out := make([]Point, 0, len(s.Lambdas)*len(s.Sizes)*len(s.Starts)*len(s.Engines)*len(s.CrashFractions))
+	for _, l := range s.Lambdas {
+		for _, n := range s.Sizes {
+			for _, st := range s.Starts {
+				for _, e := range s.Engines {
+					for _, c := range s.CrashFractions {
+						out = append(out, Point{Lambda: l, N: n, Start: st, Engine: e, Crash: c})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// taskSeed derives the per-task seed. The multipliers are the SplitMix64
+// constants; distinct (point, rep) pairs get distinct, well-mixed seeds while
+// staying reproducible from the base seed alone.
+func taskSeed(base uint64, pointIdx, rep int) uint64 {
+	return base ^ (uint64(pointIdx+1) * 0x9e3779b97f4a7c15) ^ (uint64(rep+1) * 0xbf58476d1ce4e5b9)
+}

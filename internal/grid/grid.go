@@ -17,6 +17,15 @@
 // internal/move. Boundary-walk Perimeter and HasHoles round out the
 // bookkeeping the chain needs before it reaches the hole-free space.
 //
+// Layout in one line: the bit slot of point p is
+//
+//	(p.Y - minY)·(stride·64) + (p.X - minX)
+//
+// i.e. rows of stride uint64 words, one bit per cell, with a 2-cell margin
+// between every occupied cell and the window border so that mask extraction
+// and degree counts (offsets of magnitude ≤ 2) never need bounds checks.
+// DESIGN.md draws the full layout and the Mask bit ordering.
+//
 // A Grid is not safe for concurrent use.
 package grid
 

@@ -3,6 +3,16 @@
 // composite validity predicate used by both the chain and the distributed
 // algorithm. All checks inspect only the ≤10 lattice cells surrounding the
 // move, matching what a constant-memory particle can observe.
+//
+// The package exists in two layers. Property1, Property2, and Valid are the
+// readable reference implementations over any Occupancy. Classify is the
+// hot path: a 256-entry table indexed by the canonical 8-cell neighborhood
+// mask of the pair (ℓ, ℓ′) — grid.MaskOffsets defines the bit ordering,
+// DESIGN.md draws it — whose entries pack Property 1, Property 2, deg(ℓ),
+// and deg(ℓ′)∖{ℓ} into one byte (see Class). The table is built at init by
+// evaluating the reference implementations on all 256 masks, so the two
+// layers cannot disagree by construction; masks_test.go checks every mask
+// against the oracle in all six directions anyway.
 package move
 
 import (

@@ -10,14 +10,17 @@ import (
 	"sort"
 )
 
-// Summary holds descriptive statistics of a sample.
+// Summary holds descriptive statistics of a sample. The JSON field names
+// are part of the experiment artifact format (results.jsonl, BENCH_*.json);
+// every value round-trips exactly because encoding/json emits the shortest
+// float64 representation that parses back to the same bits.
 type Summary struct {
-	N      int
-	Mean   float64
-	StdDev float64 // sample standard deviation (n−1)
-	Min    float64
-	Median float64
-	Max    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"` // sample standard deviation (n−1)
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Max    float64 `json:"max"`
 }
 
 // Summarize computes descriptive statistics. It panics on an empty sample.
@@ -69,9 +72,9 @@ func (s Summary) String() string {
 // PowerFit is a least-squares fit of y = C·x^Exponent performed in log-log
 // space.
 type PowerFit struct {
-	Exponent float64
-	LogC     float64
-	R2       float64
+	Exponent float64 `json:"exponent"`
+	LogC     float64 `json:"log_c"`
+	R2       float64 `json:"r2"`
 }
 
 // FitPower fits y = C·x^k by linear regression on (ln x, ln y). All inputs

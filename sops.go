@@ -1,34 +1,30 @@
 package sops
 
 import (
-	"fmt"
+	"context"
 	"math"
-	"math/rand/v2"
 
-	"sops/internal/amoebot"
-	"sops/internal/chain"
-	"sops/internal/config"
-	"sops/internal/lattice"
+	"sops/internal/experiment"
 	"sops/internal/metrics"
-	"sops/internal/viz"
+	"sops/internal/runner"
 )
 
 // StartShape selects the initial configuration of a run.
-type StartShape string
+type StartShape = runner.StartShape
 
 // Supported starting shapes.
 const (
 	// StartLine places the particles in a straight line: the maximum-
 	// perimeter start used in the paper's simulations (Figs 2, 10).
-	StartLine StartShape = "line"
+	StartLine = runner.StartLine
 	// StartSpiral places the particles in the minimum-perimeter hexagonal
 	// spiral.
-	StartSpiral StartShape = "spiral"
+	StartSpiral = runner.StartSpiral
 	// StartRandom grows a random connected configuration (Eden growth),
 	// possibly containing holes.
-	StartRandom StartShape = "random"
+	StartRandom = runner.StartRandom
 	// StartTree grows a random induced tree: maximum perimeter, no holes.
-	StartTree StartShape = "tree"
+	StartTree = runner.StartTree
 )
 
 // CompressionThreshold returns 2+√2 ≈ 3.414: the paper proves
@@ -48,258 +44,63 @@ func PMin(n int) int { return metrics.PMin(n) }
 func PMax(n int) int { return metrics.PMax(n) }
 
 // Point is a vertex of the triangular lattice in axial coordinates.
-type Point struct {
-	X, Y int
-}
+type Point = runner.Point
 
 // Snapshot records the system state at one instant of a run.
-type Snapshot struct {
-	// Iteration counts Markov chain iterations (sequential runs) or
-	// particle activations (distributed runs).
-	Iteration uint64
-	Perimeter int
-	Edges     int
-	Alpha     float64 // perimeter / pmin
-	Beta      float64 // perimeter / pmax
-	HoleFree  bool
-}
+type Snapshot = runner.Snapshot
 
 // Result reports a completed run.
-type Result struct {
-	N          int
-	Lambda     float64
-	Iterations uint64
-	// Moves counts accepted particle relocations.
-	Moves     uint64
-	Perimeter int
-	Edges     int
-	Triangles int
-	Alpha     float64
-	Beta      float64
-	HoleFree  bool
-	// Rounds is the number of asynchronous rounds (distributed runs only).
-	Rounds uint64
-	// Crashed lists crash-failed particle positions (distributed runs with
-	// CrashFraction > 0).
-	Crashed []Point
-	// Points is the final configuration (tails of all particles).
-	Points []Point
-	// Snapshots holds the requested mid-run measurements in order.
-	Snapshots []Snapshot
-	// Rendering is an ASCII drawing of the final configuration.
-	Rendering string
-}
-
-// SVG renders the final configuration as a standalone SVG document in the
-// style of the paper's figures (particles with induced edges drawn; crashed
-// particles hollow).
-func (r *Result) SVG() string {
-	cfg := config.New()
-	for _, p := range r.Points {
-		cfg.Add(lattice.Point{X: p.X, Y: p.Y})
-	}
-	marks := make(map[lattice.Point]bool, len(r.Crashed))
-	for _, p := range r.Crashed {
-		marks[lattice.Point{X: p.X, Y: p.Y}] = true
-	}
-	return viz.SVG(cfg, marks)
-}
+type Result = runner.Result
 
 // Options configures a run. The zero value is not runnable: N and Lambda
 // must be positive.
-type Options struct {
-	// N is the number of particles.
-	N int
-	// Lambda is the bias parameter λ. λ > 2+√2 compresses; λ < 2.17
-	// expands.
-	Lambda float64
-	// Iterations is the number of chain iterations (sequential) or particle
-	// activations (distributed). Defaults to 200·N² if zero.
-	Iterations uint64
-	// Seed makes the run reproducible. Runs with equal options and seed
-	// produce identical results.
-	Seed uint64
-	// Start selects the initial shape; default StartLine.
-	Start StartShape
-	// Distributed selects the amoebot Algorithm A with Poisson-clock
-	// scheduling instead of the sequential Markov chain M.
-	Distributed bool
-	// CrashFraction crash-fails this fraction of particles at the start of
-	// a distributed run (§3.3 fault tolerance). Only valid with
-	// Distributed.
-	CrashFraction float64
-	// Workers > 1 drives a distributed run with that many goroutines
-	// activating particles concurrently (activations stay atomic, as the
-	// model requires). Concurrent trajectories are not reproducible across
-	// runs; invariants and long-run statistics are unaffected. Only valid
-	// with Distributed.
-	Workers int
-	// SnapshotEvery records a snapshot every given number of iterations;
-	// zero disables snapshots.
-	SnapshotEvery uint64
-}
-
-func (o Options) startConfig() (*config.Config, error) {
-	if o.N < 1 {
-		return nil, fmt.Errorf("sops: N must be positive, got %d", o.N)
-	}
-	shape := o.Start
-	if shape == "" {
-		shape = StartLine
-	}
-	switch shape {
-	case StartLine:
-		return config.Line(o.N), nil
-	case StartSpiral:
-		return config.Spiral(o.N), nil
-	case StartRandom:
-		return config.RandomConnected(rand.New(rand.NewPCG(o.Seed, 0xabcd)), o.N), nil
-	case StartTree:
-		return config.RandomTree(rand.New(rand.NewPCG(o.Seed, 0xabce)), o.N), nil
-	default:
-		return nil, fmt.Errorf("sops: unknown start shape %q", shape)
-	}
-}
-
-func (o Options) iterations() uint64 {
-	if o.Iterations > 0 {
-		return o.Iterations
-	}
-	return 200 * uint64(o.N) * uint64(o.N)
-}
+type Options = runner.Options
 
 // Compress runs the compression system and returns the final metrics.
 // With Options.Distributed it runs the amoebot Algorithm A; otherwise the
 // sequential Markov chain M. Both implement the same stochastic process
 // (§3.2); distributed runs exercise the full expansion/contraction/flag
 // machinery.
-func Compress(opts Options) (*Result, error) {
-	start, err := opts.startConfig()
-	if err != nil {
-		return nil, err
-	}
-	if opts.CrashFraction < 0 || opts.CrashFraction >= 1 {
-		return nil, fmt.Errorf("sops: CrashFraction must be in [0,1), got %v", opts.CrashFraction)
-	}
-	if opts.CrashFraction > 0 && !opts.Distributed {
-		return nil, fmt.Errorf("sops: CrashFraction requires Distributed")
-	}
-	if opts.Workers > 1 && !opts.Distributed {
-		return nil, fmt.Errorf("sops: Workers requires Distributed")
-	}
-	if opts.Distributed {
-		return compressDistributed(opts, start)
-	}
-	return compressSequential(opts, start)
+func Compress(opts Options) (*Result, error) { return runner.Compress(opts) }
+
+// The experiment API: declarative, resumable scenario sweeps over the
+// workload registry. An ExperimentSpec names a scenario and sweep axes;
+// RunExperiment fans the (point, rep) grid out over a worker pool,
+// journaling every completed task when ExperimentOptions.Dir is set so an
+// interrupted sweep resumes exactly where it stopped. `cmd/sops sweep` is a
+// thin wrapper around RunExperiment.
+
+// ExperimentSpec declares a scenario sweep; see the field docs in
+// internal/experiment.
+type ExperimentSpec = experiment.Spec
+
+// ExperimentOptions are execution knobs (journal directory, worker count,
+// progress stream) that cannot change experiment results.
+type ExperimentOptions = experiment.RunOptions
+
+// ExperimentResult reports a completed experiment: the normalized spec, one
+// PointSummary per sweep point, and task accounting.
+type ExperimentResult = experiment.Result
+
+// SweepPoint is one sweep coordinate (λ, n, start, engine, crash fraction).
+type SweepPoint = experiment.Point
+
+// PointSummary aggregates all replications at one sweep point.
+type PointSummary = experiment.PointSummary
+
+// ScenarioInfo names a registered workload.
+type ScenarioInfo = experiment.Info
+
+// RunExperiment executes spec. Identical specs yield byte-identical
+// summaries regardless of worker count or how often the sweep was
+// interrupted and resumed; see internal/experiment for the contract.
+func RunExperiment(ctx context.Context, spec ExperimentSpec, opt ExperimentOptions) (*ExperimentResult, error) {
+	return experiment.Run(ctx, spec, opt)
 }
 
-func compressSequential(opts Options, start *config.Config) (*Result, error) {
-	c, err := chain.New(start, opts.Lambda, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	total := opts.iterations()
-	res := &Result{N: opts.N, Lambda: opts.Lambda}
-	runWithSnapshots(total, opts.SnapshotEvery, func(k uint64) {
-		c.Run(k)
-	}, func(done uint64) Snapshot {
-		return Snapshot{
-			Iteration: done,
-			Perimeter: c.Perimeter(),
-			Edges:     c.Edges(),
-			Alpha:     metrics.Alpha(c.Perimeter(), opts.N),
-			Beta:      metrics.Beta(c.Perimeter(), opts.N),
-			HoleFree:  c.HoleFree(),
-		}
-	}, res)
-	res.Iterations = c.Steps()
-	res.Moves = c.Accepted()
-	finishResult(res, c.Config())
-	return res, nil
-}
+// Scenarios lists every registered workload, sorted by name.
+func Scenarios() []ScenarioInfo { return experiment.List() }
 
-func compressDistributed(opts Options, start *config.Config) (*Result, error) {
-	proto, err := amoebot.NewCompression(opts.Lambda)
-	if err != nil {
-		return nil, err
-	}
-	w, err := amoebot.NewWorld(start)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{N: opts.N, Lambda: opts.Lambda}
-	if opts.CrashFraction > 0 {
-		rng := rand.New(rand.NewPCG(opts.Seed, 0xdead))
-		for _, id := range w.CrashFraction(rng, opts.CrashFraction) {
-			t := w.Particle(id).Tail()
-			res.Crashed = append(res.Crashed, Point{X: t.X, Y: t.Y})
-		}
-	}
-	var runChunk func(uint64)
-	if opts.Workers > 1 {
-		workers := opts.Workers
-		chunk := uint64(0)
-		runChunk = func(k uint64) {
-			chunk++
-			// Each chunk derives fresh per-worker streams; reusing the raw
-			// seed would replay identical randomness every chunk.
-			amoebot.RunConcurrent(w, proto, opts.Seed+chunk*0x9e3779b97f4a7c15, workers, k/uint64(workers))
-		}
-	} else {
-		s := amoebot.NewPoissonScheduler(w, proto, opts.Seed)
-		runChunk = func(k uint64) { s.RunActivations(k) }
-	}
-	total := opts.iterations()
-	runWithSnapshots(total, opts.SnapshotEvery, runChunk, func(done uint64) Snapshot {
-		cfg := w.Config()
-		p := cfg.Perimeter()
-		return Snapshot{
-			Iteration: done,
-			Perimeter: p,
-			Edges:     cfg.Edges(),
-			Alpha:     metrics.Alpha(p, opts.N),
-			Beta:      metrics.Beta(p, opts.N),
-			HoleFree:  !cfg.HasHoles(),
-		}
-	}, res)
-	res.Iterations = w.Activations()
-	res.Moves = w.Moves()
-	res.Rounds = w.Rounds()
-	finishResult(res, w.Config())
-	return res, nil
-}
-
-// runWithSnapshots splits total work into snapshot intervals.
-func runWithSnapshots(total, every uint64, run func(uint64), snap func(uint64) Snapshot, res *Result) {
-	if every == 0 || every >= total {
-		run(total)
-		return
-	}
-	var done uint64
-	for done < total {
-		k := every
-		if done+k > total {
-			k = total - done
-		}
-		run(k)
-		done += k
-		res.Snapshots = append(res.Snapshots, snap(done))
-	}
-}
-
-func finishResult(res *Result, cfg *config.Config) {
-	res.Perimeter = cfg.Perimeter()
-	res.Edges = cfg.Edges()
-	res.Triangles = cfg.Triangles()
-	res.Alpha = metrics.Alpha(res.Perimeter, res.N)
-	res.Beta = metrics.Beta(res.Perimeter, res.N)
-	res.HoleFree = !cfg.HasHoles()
-	for _, p := range cfg.Points() {
-		res.Points = append(res.Points, Point{X: p.X, Y: p.Y})
-	}
-	marks := map[lattice.Point]bool{}
-	for _, p := range res.Crashed {
-		marks[lattice.Point{X: p.X, Y: p.Y}] = true
-	}
-	res.Rendering = viz.RenderMarked(cfg, marks)
-}
+// LoadExperimentSpec reads the spec recorded in an experiment directory,
+// enabling `sops resume`-style continuation from code.
+func LoadExperimentSpec(dir string) (ExperimentSpec, error) { return experiment.LoadSpec(dir) }
