@@ -100,7 +100,7 @@ func BenchmarkScalingConjecture(b *testing.B) {
 				c := chain.MustNew(config.Line(n), 4, uint64(i)*31+uint64(n))
 				target := 2 * metrics.PMin(n)
 				cap := 800 * uint64(n) * uint64(n) * uint64(n)
-				done := c.RunUntil(cap, uint64(n*n/4+1), func(c *chain.Chain) bool {
+				done := c.RunUntil(cap, uint64(n*n/4+1), func() bool {
 					return c.Perimeter() <= target
 				})
 				samples = append(samples, float64(done))
@@ -291,6 +291,46 @@ func BenchmarkExperimentSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(alpha, "final_alpha_lambda6")
+}
+
+// BenchmarkCompressEngines races the Metropolis grid engine against the
+// rejection-free kMC engine on complete compress-scenario runs (200·n²
+// equivalent steps each; identical distribution, different wall-clock).
+// The regimes span the crossover documented in EXPERIMENTS.md: transient-
+// heavy runs from a line at moderate n favor the 25 ns Metropolis step,
+// while equilibrium-dominated and large-n runs hand the kMC engine a
+// multiple-× win because it pays only per applied move.
+func BenchmarkCompressEngines(b *testing.B) {
+	cases := []struct {
+		name   string
+		start  sops.StartShape
+		n      int
+		lambda float64
+	}{
+		{"line/lambda=4/n=100", sops.StartLine, 100, 4},     // ISSUE 3 reference point
+		{"spiral/lambda=4/n=100", sops.StartSpiral, 100, 4}, // equilibrium sampling
+		{"spiral/lambda=6/n=100", sops.StartSpiral, 100, 6},
+		{"line/lambda=6/n=400", sops.StartLine, 400, 6},     // large n, transient included
+		{"spiral/lambda=6/n=400", sops.StartSpiral, 400, 6}, // large n at equilibrium
+	}
+	for _, tc := range cases {
+		for _, engine := range []string{sops.EngineChain, sops.EngineKMC} {
+			b.Run(engine+"/"+tc.name, func(b *testing.B) {
+				var moves uint64
+				for i := 0; i < b.N; i++ {
+					res, err := sops.Compress(sops.Options{
+						N: tc.n, Lambda: tc.lambda, Seed: uint64(i + 1),
+						Start: tc.start, Engine: engine,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					moves = res.Moves
+				}
+				b.ReportMetric(float64(moves), "moves")
+			})
+		}
+	}
 }
 
 // --- microbenchmarks -------------------------------------------------------

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sops run            one simulation run (chain M or amoebot A)
+//	sops run            one simulation run (chain M, rejection-free kmc, or amoebot A)
 //	sops sweep          declarative, resumable scenario sweep
 //	sops resume         continue an interrupted sweep from its directory
 //	sops figures        regenerate the data behind the paper's figures
@@ -25,34 +25,40 @@ import (
 	"strings"
 )
 
+// commands is the subcommand dispatch table; dispatch resolves names against
+// it so tests can exercise routing without spawning the binary.
+var commands = map[string]func([]string) error{
+	"run":            cmdRun,
+	"sweep":          cmdSweep,
+	"resume":         cmdResume,
+	"figures":        cmdFigures,
+	"census":         cmdCensus,
+	"list-scenarios": cmdListScenarios,
+}
+
+// dispatch resolves a subcommand name; ok is false for unknown names.
+func dispatch(cmd string) (fn func([]string) error, ok bool) {
+	fn, ok = commands[cmd]
+	return fn, ok
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage(os.Stderr)
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "run":
-		err = cmdRun(args)
-	case "sweep":
-		err = cmdSweep(args)
-	case "resume":
-		err = cmdResume(args)
-	case "figures":
-		err = cmdFigures(args)
-	case "census":
-		err = cmdCensus(args)
-	case "list-scenarios":
-		err = cmdListScenarios(args)
-	case "help", "-h", "--help":
+	if cmd == "help" || cmd == "-h" || cmd == "--help" {
 		usage(os.Stdout)
-	default:
+		return
+	}
+	fn, ok := dispatch(cmd)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "sops: unknown command %q\n\n", cmd)
 		usage(os.Stderr)
 		os.Exit(2)
 	}
-	if err != nil {
+	if err := fn(args); err != nil {
 		fmt.Fprintln(os.Stderr, "sops:", err)
 		os.Exit(1)
 	}
@@ -64,7 +70,7 @@ func usage(w *os.File) {
 usage: sops <command> [flags]
 
 commands:
-  run             one simulation run (chain M or amoebot Algorithm A)
+  run             one simulation run (-engine chain|kmc|amoebot)
   sweep           declarative scenario sweep; resumable with -dir
   resume          continue an interrupted sweep from its directory
   figures         regenerate the data behind the paper's figures

@@ -19,7 +19,7 @@ func cmdRun(args []string) error {
 		iters     = fs.Uint64("iters", 0, "iterations/activations (default 200·n²)")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		start     = fs.String("start", "line", "starting shape: line|spiral|random|tree")
-		engine    = fs.String("engine", experiment.EngineChain, "execution engine: chain|amoebot")
+		engine    = fs.String("engine", experiment.EngineChain, "execution engine: chain|kmc|amoebot")
 		workers   = fs.Int("workers", 0, "drive an amoebot run with this many concurrent goroutines")
 		crash     = fs.Float64("crash", 0, "fraction of particles to crash-fail (amoebot engine only)")
 		snapshots = fs.Int("snapshots", 5, "number of equally spaced snapshots to print")
@@ -28,16 +28,17 @@ func cmdRun(args []string) error {
 	)
 	fs.Parse(args)
 
-	if *engine != experiment.EngineChain && *engine != experiment.EngineAmoebot {
-		return fmt.Errorf("unknown engine %q (want %s|%s)", *engine, experiment.EngineChain, experiment.EngineAmoebot)
+	if *engine != experiment.EngineChain && *engine != experiment.EngineKMC && *engine != experiment.EngineAmoebot {
+		return fmt.Errorf("unknown engine %q (want %s|%s|%s)",
+			*engine, experiment.EngineChain, experiment.EngineKMC, experiment.EngineAmoebot)
 	}
 	opts := sops.Options{
-		N:           *n,
-		Lambda:      *lambda,
-		Iterations:  *iters,
-		Seed:        *seed,
-		Start:       sops.StartShape(*start),
-		Distributed: *engine == experiment.EngineAmoebot,
+		N:          *n,
+		Lambda:     *lambda,
+		Iterations: *iters,
+		Seed:       *seed,
+		Start:      sops.StartShape(*start),
+		Engine:     *engine,
 	}
 	if *crash > 0 {
 		opts.CrashFraction = *crash
@@ -59,7 +60,10 @@ func cmdRun(args []string) error {
 	}
 
 	mode := "sequential chain M"
-	if opts.Distributed {
+	switch *engine {
+	case experiment.EngineKMC:
+		mode = "rejection-free chain M (kmc)"
+	case experiment.EngineAmoebot:
 		mode = "distributed algorithm A"
 	}
 	fmt.Printf("# %s: n=%d λ=%.3g start=%s seed=%d\n", mode, *n, *lambda, *start, *seed)
@@ -73,7 +77,7 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("final: iterations=%d moves=%d perimeter=%d edges=%d triangles=%d α=%.3f β=%.3f",
 		res.Iterations, res.Moves, res.Perimeter, res.Edges, res.Triangles, res.Alpha, res.Beta)
-	if opts.Distributed {
+	if *engine == experiment.EngineAmoebot {
 		fmt.Printf(" rounds=%d crashed=%d", res.Rounds, len(res.Crashed))
 	}
 	fmt.Println()

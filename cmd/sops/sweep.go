@@ -26,7 +26,7 @@ func cmdSweep(args []string) error {
 		lambdas  = fs.String("lambdas", "", "comma-separated λ values (scenario default if empty)")
 		sizes    = fs.String("sizes", "", "comma-separated particle counts (scenario default if empty)")
 		starts   = fs.String("starts", "", "comma-separated start shapes: line|spiral|random|tree")
-		engines  = fs.String("engines", "", "comma-separated engines: chain|amoebot")
+		engines  = fs.String("engines", "", "comma-separated engines: chain|kmc|amoebot")
 		crash    = fs.String("crash", "", "comma-separated crash fractions (amoebot engine only)")
 		reps     = fs.Int("reps", 3, "independent replications per sweep point")
 		iters    = fs.Uint64("iters", 0, "per-run budget (0 = scenario default)")

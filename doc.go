@@ -13,8 +13,9 @@
 // λ > 2+√2 ≈ 3.41 and provably expands for λ < 2.17 — favoring neighbors
 // (λ > 1) alone is not enough.
 //
-// This root package is the high-level facade: Compress runs either the
-// sequential Markov chain M or the distributed amoebot Algorithm A and
+// This root package is the high-level facade: Compress runs the sequential
+// Markov chain M (as Metropolis proposals or as the rejection-free kMC
+// engine — Options.Engine) or the distributed amoebot Algorithm A and
 // reports compression metrics and snapshots, and RunExperiment drives
 // declarative, resumable scenario sweeps over the workload registry (what
 // `cmd/sops sweep` wraps). The substrates live under internal/ (lattice

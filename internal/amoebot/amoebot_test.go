@@ -221,6 +221,9 @@ func TestAsyncDwellBias(t *testing.T) {
 // do not change the stationary distribution. Run with rates spread over
 // [0.5, 2] and compare against exact π.
 func TestHeterogeneousClocksSameStationary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stationary-sampling run; skipped under -short")
+	}
 	const n = 4
 	const lambda = 3
 	exact := enumerate.ExactStationary(n, lambda)
@@ -306,6 +309,9 @@ func TestRoundsVsActivations(t *testing.T) {
 // TestCrashFaultCompression: §3.3 — with 10% of particles crashed, the rest
 // still compress around the fixed points, and crashed particles never move.
 func TestCrashFaultCompression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stochastic run; skipped under -short")
+	}
 	n := 40
 	w, _ := NewWorld(config.Line(n))
 	s := NewPoissonScheduler(w, MustNewCompression(6), 11)

@@ -12,6 +12,9 @@ import (
 // fraction of Byzantine particles that expand and refuse to contract cannot
 // prevent the healthy particles from compressing; they act as fixed points.
 func TestByzantineStubbornCompression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stochastic run; skipped under -short")
+	}
 	n := 40
 	w, err := NewWorld(config.Line(n))
 	if err != nil {

@@ -40,7 +40,7 @@ func TestAblationProperty2StillCompresses(t *testing.T) {
 func TestRunUntilStopsEarly(t *testing.T) {
 	c := MustNew(config.Line(20), 6, 3)
 	target := 2 * metrics.PMin(20)
-	done := c.RunUntil(50_000_000, 1000, func(c *Chain) bool {
+	done := c.RunUntil(50_000_000, 1000, func() bool {
 		return c.Perimeter() <= target
 	})
 	if done == 50_000_000 && c.Perimeter() > target {
@@ -58,7 +58,7 @@ func TestRunUntilStopsEarly(t *testing.T) {
 // exactly at the cap.
 func TestRunUntilRespectsCap(t *testing.T) {
 	c := MustNew(config.Line(5), 4, 1)
-	done := c.RunUntil(2500, 999, func(*Chain) bool { return false })
+	done := c.RunUntil(2500, 999, func() bool { return false })
 	if done != 2500 {
 		t.Errorf("done=%d, want exactly the 2500 cap", done)
 	}

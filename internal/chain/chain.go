@@ -279,8 +279,10 @@ func (c *Chain) Run(n uint64) uint64 {
 
 // RunUntil executes up to max iterations, invoking check every interval
 // iterations; it stops early when check returns true. It returns the number
-// of iterations executed.
-func (c *Chain) RunUntil(max, interval uint64, check func(*Chain) bool) uint64 {
+// of iterations executed. The callback closes over whatever state it needs
+// (typically the chain itself); the signature is engine-neutral so the
+// Metropolis and kMC engines satisfy one interface.
+func (c *Chain) RunUntil(max, interval uint64, check func() bool) uint64 {
 	if interval == 0 {
 		interval = 1
 	}
@@ -292,7 +294,7 @@ func (c *Chain) RunUntil(max, interval uint64, check func(*Chain) bool) uint64 {
 		}
 		c.Run(batch)
 		done += batch
-		if check(c) {
+		if check() {
 			return done
 		}
 	}

@@ -267,7 +267,11 @@ func TestStationaryDistributionExact(t *testing.T) {
 // configuration of Ω* is reachable (Lemma 3.10), and from any configuration
 // WITH holes, Ω* is reachable (Lemma 3.8). BFS over the exact move graph.
 func TestErgodicityOnSmallStateSpaces(t *testing.T) {
-	for _, n := range []int{3, 4, 5, 6, 7} {
+	sizes := []int{3, 4, 5, 6, 7}
+	if testing.Short() {
+		sizes = []int{3, 4, 5, 6}
+	}
+	for _, n := range sizes {
 		states := enumerate.AllHoleFree(n)
 		index := map[string]bool{}
 		for _, c := range states {

@@ -73,7 +73,11 @@ func TestSmallestHoleAppearsAtSix(t *testing.T) {
 // TestCensusExtremes: the census must span exactly [pmin, pmax] and the
 // pmax count must be at least the 2^{n−1} zig-zag paths of Lemma 5.1.
 func TestCensusExtremes(t *testing.T) {
-	for n := 2; n <= 8; n++ {
+	max := 8
+	if testing.Short() {
+		max = 7
+	}
+	for n := 2; n <= max; n++ {
 		census := Census(n)
 		if len(census) == 0 {
 			t.Fatalf("n=%d: empty census", n)
@@ -105,7 +109,11 @@ func TestCensusExtremes(t *testing.T) {
 // asymptotic but the trend must hold).
 func TestPeierlsCountBound(t *testing.T) {
 	nu := 2 + math.Sqrt2
-	for n := 2; n <= 8; n++ {
+	max := 8
+	if testing.Short() {
+		max = 7
+	}
+	for n := 2; n <= max; n++ {
 		for _, row := range Census(n) {
 			bound := math.Pow(nu, float64(row.Perimeter))
 			if float64(row.Count) > bound {
@@ -246,7 +254,11 @@ func TestStationaryTailDecreasesWithLambda(t *testing.T) {
 // TestTrivialZBound: ln Z ≥ e_max·ln λ (the Theorem 4.5 partition bound in
 // edge weights).
 func TestTrivialZBound(t *testing.T) {
-	for _, n := range []int{4, 6, 8} {
+	sizes := []int{4, 6, 8}
+	if testing.Short() {
+		sizes = []int{4, 6}
+	}
+	for _, n := range sizes {
 		for _, lambda := range []float64{0.5, 1, 3, 6} {
 			s := ExactStationary(n, lambda)
 			if lb := LogZLowerBoundTrivial(n, lambda); s.LogZ < lb-1e-9 {

@@ -354,6 +354,62 @@ func TestBuiltinScenariosSmoke(t *testing.T) {
 	}
 }
 
+// TestKMCEngineAxis: the kmc engine runs through the compress, scaling, and
+// mixing scenarios, crash fractions reject it, and an engine-comparison
+// sweep produces kmc means consistent with the chain engine's.
+func TestKMCEngineAxis(t *testing.T) {
+	spec := Spec{
+		Scenario:   "compress",
+		Lambdas:    []float64{5},
+		Sizes:      []int{16},
+		Engines:    []string{EngineChain, EngineKMC},
+		Iterations: 60_000,
+		Reps:       6,
+		Seed:       3,
+	}
+	res, err := Run(context.Background(), spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures > 0 {
+		t.Fatalf("%d failed tasks", res.Failures)
+	}
+	if len(res.Summaries) != 2 {
+		t.Fatalf("%d summaries, want 2 (one per engine)", len(res.Summaries))
+	}
+	var means [2]float64
+	for i, s := range res.Summaries {
+		m, err := s.Mean("perimeter")
+		if err != nil {
+			t.Fatalf("%s: %v", s.Point, err)
+		}
+		means[i] = m
+	}
+	// Same process in distribution: at λ=5, n=16 the equilibrium perimeter
+	// is ≈ 16–20; a factor-1.5 band catches engine-level disagreement
+	// without flaking on 6 reps.
+	if means[0] > 1.5*means[1] || means[1] > 1.5*means[0] {
+		t.Errorf("engine perimeter means diverge: chain %.2f vs kmc %.2f", means[0], means[1])
+	}
+
+	for _, scenario := range []string{"scaling", "mixing"} {
+		spec := Spec{Scenario: scenario, Lambdas: []float64{4}, Sizes: []int{10},
+			Engines: []string{EngineKMC}, Iterations: 6000, Seed: 1}
+		res, err := Run(context.Background(), spec, RunOptions{})
+		if err != nil {
+			t.Fatalf("%s with kmc: %v", scenario, err)
+		}
+		if res.Failures > 0 {
+			t.Errorf("%s with kmc: %d failed tasks", scenario, res.Failures)
+		}
+	}
+
+	bad := Spec{Scenario: "compress", Engines: []string{EngineKMC}, CrashFractions: []float64{0.1}}
+	if _, err := Run(context.Background(), bad, RunOptions{}); err == nil {
+		t.Error("crash fraction with the kmc engine must be rejected")
+	}
+}
+
 // TestScenarioDeterminism: same spec, different worker counts, identical
 // summary bytes.
 func TestScenarioDeterminism(t *testing.T) {

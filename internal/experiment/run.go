@@ -105,7 +105,9 @@ func Run(ctx context.Context, spec Spec, opt RunOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer j.close()
+		// Every line is synced by append, so the close error carries no
+		// journaled data; dropping it is deliberate.
+		defer func() { _ = j.close() }()
 		for _, e := range j.entries {
 			if e.Point < 0 || e.Point >= len(points) || e.Rep < 0 || e.Rep >= spec.Reps {
 				continue // journal from a larger, since-shrunk grid — impossible after the spec check, but harmless

@@ -10,6 +10,20 @@ import (
 	"sops/internal/stats"
 )
 
+// newSequential builds the sequential engine a task's engine axis selects,
+// with the task's start shape and derived seed.
+func newSequential(t Task) (runner.Sequential, error) {
+	if t.Point.Engine != EngineChain && t.Point.Engine != EngineKMC {
+		return nil, fmt.Errorf("scenario requires a sequential engine (%s|%s), got %q",
+			EngineChain, EngineKMC, t.Point.Engine)
+	}
+	start, err := runner.NewStartConfig(runner.StartShape(t.Point.Start), t.Point.N, t.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return runner.NewSequential(t.Point.Engine, start, t.Point.Lambda, t.Seed)
+}
+
 // The built-in scenarios: every workload the five pre-consolidation binaries
 // and the benchmark harness ran, named so a sweep is a registry entry plus
 // axes instead of a new binary.
@@ -105,7 +119,7 @@ func runCompress(sp Spec, t Task) (Metrics, error) {
 		Iterations:    sp.Iterations,
 		Seed:          t.Seed,
 		Start:         runner.StartShape(t.Point.Start),
-		Distributed:   t.Point.Engine == EngineAmoebot,
+		Engine:        t.Point.Engine,
 		CrashFraction: t.Point.Crash,
 		SnapshotEvery: sp.SnapshotEvery,
 	})
@@ -133,15 +147,8 @@ func runCompress(sp Spec, t Task) (Metrics, error) {
 }
 
 func runScaling(sp Spec, t Task) (Metrics, error) {
-	if err := requireChain(t); err != nil {
-		return nil, err
-	}
 	n := t.Point.N
-	start, err := runner.NewStartConfig(runner.StartShape(t.Point.Start), n, t.Seed)
-	if err != nil {
-		return nil, err
-	}
-	c, err := chain.New(start, t.Point.Lambda, t.Seed)
+	c, err := newSequential(t)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +157,7 @@ func runScaling(sp Spec, t Task) (Metrics, error) {
 		cap = 400 * uint64(n) * uint64(n) * uint64(n)
 	}
 	target := 2 * metrics.PMin(n)
-	done := c.RunUntil(cap, uint64(n*n/4+1), func(c *chain.Chain) bool {
+	done := c.RunUntil(cap, uint64(n*n/4+1), func() bool {
 		return c.Perimeter() <= target
 	})
 	if c.Perimeter() > target {
@@ -215,15 +222,8 @@ func runBaseline(_ Spec, t Task) (Metrics, error) {
 }
 
 func runMixing(sp Spec, t Task) (Metrics, error) {
-	if err := requireChain(t); err != nil {
-		return nil, err
-	}
 	n := t.Point.N
-	start, err := runner.NewStartConfig(runner.StartShape(t.Point.Start), n, t.Seed)
-	if err != nil {
-		return nil, err
-	}
-	c, err := chain.New(start, t.Point.Lambda, t.Seed)
+	c, err := newSequential(t)
 	if err != nil {
 		return nil, err
 	}
@@ -243,8 +243,8 @@ func runMixing(sp Spec, t Task) (Metrics, error) {
 	}, nil
 }
 
-// requireChain rejects tasks whose engine axis asks the sequential-only
-// scenarios for an amoebot run.
+// requireChain rejects tasks whose engine axis asks a Metropolis-only
+// scenario (the ablations use chain-specific options) for another engine.
 func requireChain(t Task) error {
 	if t.Point.Engine != EngineChain {
 		return fmt.Errorf("scenario requires engine %q, got %q", EngineChain, t.Point.Engine)

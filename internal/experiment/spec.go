@@ -21,11 +21,16 @@ import (
 
 // Engine names for the Spec.Engines axis.
 const (
-	// EngineChain runs the sequential Markov chain M.
-	EngineChain = "chain"
+	// EngineChain runs the sequential Markov chain M (Metropolis on the
+	// bit-packed grid).
+	EngineChain = runner.EngineChain
+	// EngineKMC runs the rejection-free (kinetic Monte Carlo) formulation
+	// of chain M: identical distribution at equal step budgets, events
+	// instead of proposals.
+	EngineKMC = runner.EngineKMC
 	// EngineAmoebot runs the distributed amoebot Algorithm A under a
 	// Poisson-clock scheduler.
-	EngineAmoebot = "amoebot"
+	EngineAmoebot = runner.EngineAmoebot
 )
 
 // Spec declares one experiment: a scenario from the registry, swept over the
@@ -46,7 +51,7 @@ type Spec struct {
 	Sizes []int `json:"sizes"`
 	// Starts are starting shapes: line|spiral|random|tree.
 	Starts []string `json:"starts"`
-	// Engines are execution engines: chain|amoebot.
+	// Engines are execution engines: chain|kmc|amoebot.
 	Engines []string `json:"engines"`
 	// CrashFractions are crash-failure fractions (amoebot engine only).
 	CrashFractions []float64 `json:"crash_fractions"`
@@ -132,21 +137,21 @@ func (s Spec) normalized(sc Scenario) (Spec, error) {
 			return s, fmt.Errorf("experiment: unknown start shape %q", st)
 		}
 	}
-	anyChain := false
+	anySequential := false
 	for _, e := range s.Engines {
 		switch e {
-		case EngineChain:
-			anyChain = true
+		case EngineChain, EngineKMC:
+			anySequential = true
 		case EngineAmoebot:
 		default:
-			return s, fmt.Errorf("experiment: unknown engine %q (want %s|%s)", e, EngineChain, EngineAmoebot)
+			return s, fmt.Errorf("experiment: unknown engine %q (want %s|%s|%s)", e, EngineChain, EngineKMC, EngineAmoebot)
 		}
 	}
 	for _, c := range s.CrashFractions {
 		if c < 0 || c >= 1 {
 			return s, fmt.Errorf("experiment: crash fraction must be in [0,1), got %v", c)
 		}
-		if c > 0 && anyChain {
+		if c > 0 && anySequential {
 			return s, fmt.Errorf("experiment: crash fraction %v requires engine %q only", c, EngineAmoebot)
 		}
 	}

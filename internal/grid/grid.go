@@ -100,6 +100,38 @@ func MaskOffsets(d lattice.Dir) [8]lattice.Point {
 	}
 }
 
+// dirtyOffsets[d] lists, relative to ℓ, every cell with a lattice distance
+// ≤ 2 from ℓ or from ℓ′ = ℓ+u(d), excluding ℓ itself. A cell's PairMask (any
+// direction) and degree read only cells within distance 2 of it, so after
+// occupancy flips at ℓ and ℓ′ these offsets cover every cell whose cached
+// move classification could have changed. DirtyOffsets is the reference
+// definition; the per-grid bit deltas are rebuilt on reshape.
+var dirtyOffsets = buildDirtyOffsets()
+
+func buildDirtyOffsets() (offs [lattice.NumDirs][]lattice.Point) {
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		seen := map[lattice.Point]bool{{X: 0, Y: 0}: true}
+		for _, center := range [2]lattice.Point{{}, d.Vec()} {
+			for _, p := range lattice.Disk(center, 2) {
+				if !seen[p] {
+					seen[p] = true
+					offs[d] = append(offs[d], p)
+				}
+			}
+		}
+	}
+	return offs
+}
+
+// DirtyOffsets returns the offsets, relative to ℓ, of every cell whose move
+// classification (PairMask in any direction, or degree) can depend on the
+// occupancy of ℓ or ℓ′ = ℓ+d: the union of the radius-2 disks around the two
+// endpoints, minus ℓ itself. It is the reference definition of the dirty
+// neighborhood that OccupiedNearPair enumerates.
+func DirtyOffsets(d lattice.Dir) []lattice.Point {
+	return dirtyOffsets[d]
+}
+
 // Grid is the bit-packed occupancy window. The zero value is not usable;
 // construct with New.
 type Grid struct {
@@ -112,10 +144,13 @@ type Grid struct {
 	slack      int
 
 	// nbrDelta[d] is the bit-index delta to the neighbor in direction d;
-	// maskDelta[d][k] the delta to mask cell k of a move in direction d.
-	// Both depend only on the stride, so they are rebuilt on grow.
-	nbrDelta  [lattice.NumDirs]int
-	maskDelta [lattice.NumDirs][8]int
+	// maskDelta[d][k] the delta to mask cell k of a move in direction d;
+	// dirtyDelta[d] the deltas to the dirty-neighborhood cells of a move in
+	// direction d (see DirtyOffsets). All depend only on the stride, so they
+	// are rebuilt on grow.
+	nbrDelta   [lattice.NumDirs]int
+	maskDelta  [lattice.NumDirs][8]int
+	dirtyDelta [lattice.NumDirs][]int
 
 	arcScratch []uint64 // visited-arc bitset reused by boundary walks
 }
@@ -176,6 +211,12 @@ func (g *Grid) reshape(min, max lattice.Point) {
 		g.nbrDelta[d] = v.Y*sb + v.X
 		for k, off := range MaskOffsets(d) {
 			g.maskDelta[d][k] = off.Y*sb + off.X
+		}
+		// Fresh slices, not reuse: Clone shares the backing arrays, so an
+		// in-place rebuild would corrupt the clone's (or original's) deltas.
+		g.dirtyDelta[d] = make([]int, len(dirtyOffsets[d]))
+		for k, off := range dirtyOffsets[d] {
+			g.dirtyDelta[d][k] = off.Y*sb + off.X
 		}
 	}
 }
@@ -332,6 +373,229 @@ func (g *Grid) PairMask(l lattice.Point, d lattice.Dir) Mask {
 		m |= Mask(g.bit(idx+deltas[k])) << uint(k)
 	}
 	return m
+}
+
+// Window is the occupancy bitmap of the 5×5 axial square centered on a cell
+// ℓ: bit (dy+2)·5 + (dx+2) holds the occupancy of ℓ + (dx, dy) for
+// dx, dy ∈ [−2, 2]. The square is a superset of the radius-2 hex disk, so
+// it contains every cell any of ℓ's six pair masks or its degree can read;
+// one Window extraction answers all of them without further memory access.
+type Window uint32
+
+// winPos is the Window bit of offset (dx, dy).
+func winPos(dx, dy int) uint { return uint((dy+2)*5 + (dx + 2)) }
+
+// nbrWinPos[d] is the Window bit of neighbor u(d); maskWinPos[d][k] the
+// Window bit of mask cell k for a move in direction d.
+var nbrWinPos = func() (pos [lattice.NumDirs]uint) {
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		v := d.Vec()
+		pos[d] = winPos(v.X, v.Y)
+	}
+	return pos
+}()
+
+var maskWinPos = func() (pos [lattice.NumDirs][8]uint) {
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		for k, off := range MaskOffsets(d) {
+			pos[d][k] = winPos(off.X, off.Y)
+		}
+	}
+	return pos
+}()
+
+// Window extracts the 5×5 occupancy square centered on ℓ. ℓ must be
+// occupied: the margin invariant then keeps the whole square inside the
+// window, and the extraction is five bounded row reads.
+func (g *Grid) Window(l lattice.Point) Window {
+	sb := g.stride << 6
+	s := g.bitIndex(l) - 2*sb - 2
+	var win Window
+	for r := 0; r < 5; r++ {
+		q, sh := s>>6, uint(s&63)
+		w := g.words[q] >> sh
+		if sh > 59 {
+			w |= g.words[q+1] << (64 - sh)
+		}
+		win |= Window(w&31) << (5 * r)
+		s += sb
+	}
+	return win
+}
+
+// NeighborMask returns the occupancy of the six neighbors of the center
+// cell, bit d = u(d), matching lattice direction order.
+func (w Window) NeighborMask() uint8 {
+	var m uint8
+	for d := 0; d < lattice.NumDirs; d++ {
+		m |= uint8(w>>nbrWinPos[d]&1) << d
+	}
+	return m
+}
+
+// PairMask assembles the canonical pair mask of (center, center+u(d)) from
+// the window; it equals Grid.PairMask for the same cell and direction. It is
+// the reference for the table-driven Packed path.
+func (w Window) PairMask(d lattice.Dir) Mask {
+	pos := &maskWinPos[d]
+	var m Mask
+	for k := 0; k < 8; k++ {
+		m |= Mask(w>>pos[k]&1) << k
+	}
+	return m
+}
+
+// PackedMasks carries every move classification input of one cell: the six
+// pair masks in bytes 0–5 (byte d = PairMask toward direction d) and the
+// 6-bit neighbor occupancy in byte 6. It is assembled from a Window with two
+// table lookups, making an engine's per-particle re-classification all but
+// free of bit shuffling.
+type PackedMasks uint64
+
+// packShift is the Window bit count of the low half-table; the two halves
+// (13 + 12 bits) index 8192- and 4096-entry tables built at init.
+const packShift = 13
+
+var packLo = buildPackTab(0, packShift)
+var packHi = buildPackTab(packShift, 25)
+
+// buildPackTab tabulates, for every value of Window bits [from, to), the
+// partial PackedMasks those bits contribute; OR-ing the low and high entries
+// reconstructs the full classification of any window.
+func buildPackTab(from, to uint) []PackedMasks {
+	tab := make([]PackedMasks, 1<<(to-from))
+	for v := range tab {
+		win := Window(v) << from
+		var pm PackedMasks
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			for k, pos := range maskWinPos[d] {
+				if pos >= from && pos < to {
+					pm |= PackedMasks(win>>pos&1) << (8*uint(d) + uint(k))
+				}
+			}
+			if pos := nbrWinPos[d]; pos >= from && pos < to {
+				pm |= PackedMasks(win>>pos&1) << (48 + uint(d))
+			}
+		}
+		tab[v] = pm
+	}
+	return tab
+}
+
+// Packed assembles the cell's full move classification from the window.
+func (w Window) Packed() PackedMasks {
+	return packLo[w&(1<<packShift-1)] | packHi[w>>packShift]
+}
+
+// NeighborMask returns the 6-bit neighbor occupancy, bit d = u(d).
+func (pm PackedMasks) NeighborMask() uint8 { return uint8(pm>>48) & (1<<lattice.NumDirs - 1) }
+
+// PairMask returns the canonical pair mask toward direction d.
+func (pm PackedMasks) PairMask(d lattice.Dir) Mask { return Mask(pm >> (8 * uint(d))) }
+
+// CellWindow pairs an occupied cell with its 5×5 occupancy Window.
+type CellWindow struct {
+	P   lattice.Point
+	Win Window
+}
+
+// NbrAllWindow is the canonical Window of a fully surrounded cell: only the
+// six neighbor bits are set. DirtyWindows returns it for interior cells
+// instead of their true window — a cell with six occupied neighbors has no
+// moves, so its move classification does not depend on the rest of the
+// window, and skipping the assembly keeps the hot path short.
+var NbrAllWindow = func() Window {
+	var w Window
+	for _, pos := range nbrWinPos {
+		w |= 1 << pos
+	}
+	return w
+}()
+
+// DirtyWindows appends to buf every occupied cell of the dirty neighborhood
+// of the move pair (ℓ, ℓ′ = ℓ+d) together with that cell's Window — the
+// complete input for re-classifying the cell's moves. It is the fused fast
+// path of OccupiedNearPair + Window: when ℓ sits deep enough inside the
+// allocated window the whole answer is read once as an 11×11 super-window
+// (the dirty offsets span [−3, 3]² and each cell's Window reaches 2 further),
+// and each dirty cell's Window is then assembled from registers. Cells with
+// all six neighbors occupied — most of a compressed cluster's dirty set —
+// are detected bitwise on whole super-window rows and returned as
+// NbrAllWindow without assembly.
+func (g *Grid) DirtyWindows(l lattice.Point, d lattice.Dir, buf []CellWindow) []CellWindow {
+	cx, cy := l.X-g.minX, l.Y-g.minY
+	if cx < 5 || cy < 5 || cx >= g.w-5 || cy >= g.h-5 {
+		for _, off := range dirtyOffsets[d] {
+			if q := l.Add(off); g.Has(q) {
+				buf = append(buf, CellWindow{P: q, Win: g.Window(q)})
+			}
+		}
+		return buf
+	}
+	var rows [11]uint16
+	sb := g.stride << 6
+	s := cy*sb + cx - 5*sb - 5
+	for r := 0; r < 11; r++ {
+		q, sh := s>>6, uint(s&63)
+		w := g.words[q] >> sh
+		if sh > 53 {
+			w |= g.words[q+1] << (64 - sh)
+		}
+		rows[r] = uint16(w & 0x7ff)
+		s += sb
+	}
+	// intr[r] marks the cells of row r whose six neighbors — (±1, 0),
+	// (0, ±1), (−1, 1), (1, −1) in axial coordinates — are all occupied.
+	var intr [11]uint16
+	for r := 2; r <= 8; r++ {
+		a, up, dn := rows[r], rows[r+1], rows[r-1]
+		intr[r] = (a >> 1) & (a << 1) & up & (up << 1) & dn & (dn >> 1)
+	}
+	for _, off := range dirtyOffsets[d] {
+		dx, dy := off.X, off.Y
+		if rows[dy+5]>>(dx+5)&1 == 0 {
+			continue
+		}
+		if intr[dy+5]>>(dx+5)&1 == 1 {
+			buf = append(buf, CellWindow{P: l.Add(off), Win: NbrAllWindow})
+			continue
+		}
+		var win Window
+		for wy := 0; wy < 5; wy++ {
+			win |= Window(rows[dy+wy+3]>>(dx+3)&31) << (5 * wy)
+		}
+		buf = append(buf, CellWindow{P: l.Add(off), Win: win})
+	}
+	return buf
+}
+
+// OccupiedNearPair appends to buf every occupied cell of the dirty
+// neighborhood of the move pair (ℓ, ℓ′ = ℓ+d): the occupied cells at lattice
+// distance ≤ 2 from either endpoint, excluding ℓ itself (see DirtyOffsets).
+// After a Move(ℓ, ℓ′) these are exactly the cells whose PairMask or Degree
+// results can have changed, so an engine caching per-particle move weights
+// re-classifies only them. Callers typically pass buf[:0] of a reusable
+// slice to avoid allocation.
+func (g *Grid) OccupiedNearPair(l lattice.Point, d lattice.Dir, buf []lattice.Point) []lattice.Point {
+	cx, cy := l.X-g.minX, l.Y-g.minY
+	if cx < 3 || cy < 3 || cx >= g.w-3 || cy >= g.h-3 {
+		// Near the border (or outside the window) the precomputed deltas
+		// could reach out of the allocated words: per-cell bounds checks.
+		for _, off := range dirtyOffsets[d] {
+			if q := l.Add(off); g.Has(q) {
+				buf = append(buf, q)
+			}
+		}
+		return buf
+	}
+	idx := cy*(g.stride<<6) + cx
+	offs := dirtyOffsets[d]
+	for k, delta := range g.dirtyDelta[d] {
+		if g.bit(idx+delta) != 0 {
+			buf = append(buf, l.Add(offs[k]))
+		}
+	}
+	return buf
 }
 
 // Points returns the occupied points sorted by (Y, X), matching

@@ -13,7 +13,11 @@ import (
 // through the bit-packed grid and the map-backed config and asserts they
 // agree on occupancy, N, Edges, and Points at every step.
 func TestRandomOpsAgainstConfig(t *testing.T) {
-	for seed := uint64(0); seed < 5; seed++ {
+	seeds := uint64(5)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := uint64(0); seed < seeds; seed++ {
 		rng := rand.New(rand.NewPCG(seed, 7))
 		g := grid.New(nil, 4) // tiny slack: exercise growth
 		c := config.New()

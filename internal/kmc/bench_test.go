@@ -1,0 +1,39 @@
+package kmc
+
+import (
+	"testing"
+
+	"sops/internal/config"
+)
+
+// BenchmarkKMCEvent measures the cost of one applied kMC event (weighted
+// sampling + move + dirty-neighborhood re-classification) on an equilibrated
+// λ=4 cluster of 100 particles, where holds are long and the dirty
+// neighborhood is dense — the engine's worst-case update regime. ns/op is
+// the cost of a 10_000-equivalent-step batch; the reported ns/event divides
+// out the events that actually fired.
+func BenchmarkKMCEvent(b *testing.B) {
+	c := MustNew(config.Spiral(100), 4, 1)
+	c.Run(1_000_000) // settle into the stationary regime
+	b.ResetTimer()
+	ev0 := c.Events()
+	for i := 0; i < b.N; i++ {
+		c.Run(10_000)
+	}
+	if events := c.Events() - ev0; events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	}
+}
+
+// BenchmarkKMCBuild measures engine construction (weight table, index,
+// initial classification of every particle, Fenwick build).
+func BenchmarkKMCBuild(b *testing.B) {
+	sigma := config.Spiral(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if MustNew(sigma, 4, uint64(i+1)).TotalWeight() <= 0 {
+			b.Fatal("spiral has no valid moves?")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package kmc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sops/internal/chain"
+	"sops/internal/config"
+)
+
+// TestDistributionMatchesMetropolis is the statistical differential test of
+// the two engines: run R independent replicas of each for the same
+// 200·n²-step budget and require the mean final perimeter, edge count, and
+// accepted-move count to agree within combined standard-error bounds. The
+// engines consume randomness differently, so trajectories cannot be
+// compared; equality in distribution at matched step counts is exactly what
+// the geometric hold-time construction promises.
+//
+// The acceptance threshold is 4.5 combined standard errors: with 6
+// (λ, n) cells × 3 metrics, the false-failure probability of an exact
+// implementation is ≈ 2·10⁻⁴, while the bias from a wrong weight table or a
+// missed dirty cell shows up at tens of standard errors.
+func TestDistributionMatchesMetropolis(t *testing.T) {
+	type cell struct {
+		lambda float64
+		n      int
+	}
+	cells := []cell{
+		{2, 20}, {4, 20}, {6, 20},
+		{2, 50}, {4, 50}, {6, 50},
+	}
+	reps := 24
+	if testing.Short() {
+		cells = []cell{{2, 20}, {4, 20}, {6, 20}}
+		reps = 12
+	}
+	for _, tc := range cells {
+		t.Run(fmt.Sprintf("lambda=%g/n=%d", tc.lambda, tc.n), func(t *testing.T) {
+			budget := 200 * uint64(tc.n) * uint64(tc.n)
+			var met, kmc sampler
+			for r := 0; r < reps; r++ {
+				seed := uint64(r)*0x9e3779b9 + 17
+				mc := chain.MustNew(config.Line(tc.n), tc.lambda, seed)
+				mc.Run(budget)
+				met.add(float64(mc.Perimeter()), float64(mc.Edges()), float64(mc.Accepted()))
+
+				kc := MustNew(config.Line(tc.n), tc.lambda, seed+0xabcdef)
+				kc.Run(budget)
+				if got := kc.Steps(); got != budget {
+					t.Fatalf("kmc consumed %d equivalent steps, want %d", got, budget)
+				}
+				kmc.add(float64(kc.Perimeter()), float64(kc.Edges()), float64(kc.Accepted()))
+			}
+			for mi, name := range [3]string{"perimeter", "edges", "moves"} {
+				m1, se1 := met.meanSE(mi)
+				m2, se2 := kmc.meanSE(mi)
+				bound := 4.5 * math.Hypot(se1, se2)
+				if diff := math.Abs(m1 - m2); diff > bound {
+					t.Errorf("mean %s: metropolis %.3f±%.3f vs kmc %.3f±%.3f — |Δ|=%.3f exceeds %.3f",
+						name, m1, se1, m2, se2, diff, bound)
+				}
+			}
+		})
+	}
+}
+
+// sampler accumulates triples (perimeter, edges, moves) across replicas.
+type sampler struct {
+	xs [3][]float64
+}
+
+func (s *sampler) add(vals ...float64) {
+	for i, v := range vals {
+		s.xs[i] = append(s.xs[i], v)
+	}
+}
+
+func (s *sampler) meanSE(i int) (mean, se float64) {
+	n := float64(len(s.xs[i]))
+	for _, v := range s.xs[i] {
+		mean += v
+	}
+	mean /= n
+	var ss float64
+	for _, v := range s.xs[i] {
+		d := v - mean
+		ss += d * d
+	}
+	if len(s.xs[i]) > 1 {
+		se = math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+	}
+	return mean, se
+}

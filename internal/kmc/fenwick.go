@@ -1,0 +1,72 @@
+package kmc
+
+// fenwick is a binary indexed tree over float64 weights supporting O(log n)
+// point updates, prefix sums, and weighted sampling by prefix search. Leaves
+// are 0-indexed for callers; internally the classic 1-indexed layout is
+// used. The authoritative per-leaf values live with the caller (Chain.wj);
+// the tree only accumulates deltas, so tiny floating-point drift between the
+// two is expected and is periodically squashed by rebuild.
+type fenwick struct {
+	tree []float64 // 1-indexed partial sums
+	cap2 int       // largest power of two ≤ len(tree)-1, for the descend
+}
+
+func newFenwick(n int) *fenwick {
+	f := &fenwick{tree: make([]float64, n+1)}
+	f.cap2 = 1
+	for f.cap2<<1 <= n {
+		f.cap2 <<= 1
+	}
+	return f
+}
+
+func (f *fenwick) n() int { return len(f.tree) - 1 }
+
+// add adds delta to leaf i (0-indexed).
+func (f *fenwick) add(i int, delta float64) {
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j] += delta
+	}
+}
+
+// total returns the sum of all leaves.
+func (f *fenwick) total() float64 {
+	var s float64
+	for j := f.n(); j > 0; j -= j & -j {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// find returns the smallest 0-indexed leaf i such that the prefix sum
+// through i exceeds u, by descending the implicit tree. With u drawn
+// uniformly from [0, total) this samples leaf i with probability
+// proportional to its weight. If u is at or beyond the total (possible only
+// through floating-point drift), the last leaf is returned; callers guard by
+// checking the chosen leaf's true weight.
+func (f *fenwick) find(u float64) int {
+	pos := 0
+	for step := f.cap2; step > 0; step >>= 1 {
+		if next := pos + step; next < len(f.tree) && f.tree[next] <= u {
+			u -= f.tree[next]
+			pos = next
+		}
+	}
+	if pos >= f.n() {
+		pos = f.n() - 1
+	}
+	return pos
+}
+
+// rebuild resets the tree to the given leaf values exactly, discarding any
+// accumulated floating-point drift. len(leaves) must equal the tree size.
+func (f *fenwick) rebuild(leaves []float64) {
+	for j := range f.tree {
+		f.tree[j] = 0
+	}
+	for i, v := range leaves {
+		if v != 0 {
+			f.add(i, v)
+		}
+	}
+}

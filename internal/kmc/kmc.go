@@ -1,0 +1,481 @@
+// Package kmc implements a rejection-free (kinetic Monte Carlo, BKL-style)
+// formulation of the compression Markov chain M. The Metropolis chain in
+// internal/chain spends most proposals on moves that are rejected — the
+// uniformly chosen (particle, direction) pair is usually invalid under
+// Property 1/2, and at compressing bias λ > 2+√2 the Metropolis filter
+// rejects most of the rest — so its wall-clock is dominated by work that
+// never changes the configuration. This engine instead maintains the total
+// acceptance weight of every particle,
+//
+//	W_i = Σ_d  valid(i, d) · min(1, λ^{e′−e}),
+//
+// in a Fenwick sum-tree, samples the next applied move directly with
+// probability proportional to its weight, and advances the step counter by a
+// geometrically distributed hold time — the number of Metropolis iterations
+// the chain would have idled at the current state. The resulting process is
+// equal in distribution to chain M observed at the same step counts (the
+// hold time K ~ Geometric(W/6n) is exactly the Metropolis waiting time, and
+// geometric memorylessness makes carrying a partial hold across Run calls
+// exact), so stationary measurements, 200·n² stopping rules, and statistics
+// transfer unchanged; only the trajectory's random-number consumption
+// differs.
+//
+// After each applied move (ℓ → ℓ′) only the particles whose neighborhood
+// masks can see ℓ or ℓ′ — the dirty neighborhood enumerated by
+// grid.OccupiedNearPair, a constant-size set — are re-classified, so an
+// event costs O(log n) for the weighted sampling plus O(1) reweighting.
+// Per-slot weights come from a 256-entry table indexed by the same
+// grid.PairMask / move.Classify machinery the Metropolis engine uses: the
+// two engines cannot disagree on the move set by construction.
+package kmc
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"sops/internal/config"
+	"sops/internal/grid"
+	"sops/internal/lattice"
+	"sops/internal/move"
+)
+
+// rebuildEvery bounds floating-point drift: after this many applied events
+// the Fenwick tree is rebuilt exactly from the stored per-particle weights.
+const rebuildEvery = 1 << 16
+
+// Option customizes a Chain. The ablation variants mirror internal/chain so
+// differential tests can compare ablated engines too.
+type Option func(*Chain)
+
+// WithoutDegreeGuard disables condition (1) of step 6 (e ≠ 5); ablation only.
+func WithoutDegreeGuard() Option { return func(c *Chain) { c.degreeGuard = false } }
+
+// WithoutProperty1 disables Property 1 moves; ablation only.
+func WithoutProperty1() Option { return func(c *Chain) { c.prop1 = false } }
+
+// WithoutProperty2 disables Property 2 moves; ablation only.
+func WithoutProperty2() Option { return func(c *Chain) { c.prop2 = false } }
+
+// Chain is a running rejection-free instance of Markov chain M. It is not
+// safe for concurrent use; run independent chains in separate goroutines.
+type Chain struct {
+	g      *grid.Grid
+	points []lattice.Point
+	idx    *pindex
+	lambda float64
+	// wTab[m] is the full per-slot weight of a move with neighborhood mask
+	// m: 0 when the move is invalid under the enabled conditions, otherwise
+	// the Metropolis acceptance min(1, λ^{e′−e}). One table serves all six
+	// directions because masks are canonical in the move direction.
+	wTab [256]float64
+	rng  *rand.Rand
+
+	fen *fenwick
+	// wj[i] is the authoritative total weight of particle i, always the
+	// exact recomputation over its six slots; the Fenwick tree mirrors it up
+	// to floating-point drift.
+	wj []float64
+
+	degreeGuard  bool
+	prop1, prop2 bool
+
+	steps  uint64 // Metropolis-equivalent iterations, including holds
+	events uint64 // applied moves
+	// hold is the number of equivalent steps remaining until the next
+	// sampled event fires; 0 means the next hold has not been sampled yet.
+	hold               uint64
+	holesGone          bool
+	eventsSinceRebuild int
+	dirtyBuf           []grid.CellWindow
+}
+
+// New creates a rejection-free chain over a copy of the starting
+// configuration σ0, which must be non-empty and connected, with bias
+// parameter λ > 0. The chain is deterministic given (σ0, λ, seed); its
+// trajectories are not step-for-step comparable to internal/chain (the two
+// consume randomness differently) but agree in distribution.
+func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*Chain, error) {
+	if sigma0.N() == 0 {
+		return nil, fmt.Errorf("kmc: empty starting configuration")
+	}
+	if !sigma0.Connected() {
+		return nil, fmt.Errorf("kmc: starting configuration must be connected")
+	}
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("kmc: bias λ must be a positive finite number, got %v", lambda)
+	}
+	c := &Chain{
+		lambda:      lambda,
+		rng:         rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		degreeGuard: true,
+		prop1:       true,
+		prop2:       true,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.points = sigma0.Points()
+	c.g = grid.New(c.points, 0)
+	c.buildWeightTable()
+	c.idx = newPindex(c.points)
+	c.wj = make([]float64, len(c.points))
+	c.fen = newFenwick(len(c.points))
+	for i, p := range c.points {
+		c.wj[i] = c.particleWeight(p)
+	}
+	c.fen.rebuild(c.wj)
+	c.holesGone = !sigma0.HasHoles()
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) *Chain {
+	c, err := New(sigma0, lambda, seed, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// buildWeightTable derives the per-mask slot weights from the Classify table
+// and the enabled move conditions. λ^k for the feasible exponents k ∈ [−5, 5]
+// is precomputed and capped at 1 (the Metropolis acceptance).
+func (c *Chain) buildWeightTable() {
+	var lamPow [11]float64
+	for k := -5; k <= 5; k++ {
+		lamPow[k+5] = math.Min(1, math.Pow(c.lambda, float64(k)))
+	}
+	for m := 0; m < 256; m++ {
+		cl := move.Classify(grid.Mask(m))
+		e := cl.Degree()
+		if c.degreeGuard && e == 5 {
+			continue
+		}
+		if !((c.prop1 && cl.Property1()) || (c.prop2 && cl.Property2())) {
+			continue
+		}
+		c.wTab[m] = lamPow[cl.TargetDegree()-e+5]
+	}
+}
+
+// particleWeight recomputes the total acceptance weight of the particle at
+// p: the sum over its six directions of the slot weight, zero for directions
+// whose target is occupied. One Window extraction serves all six
+// directions, and fully surrounded particles (the common case inside a
+// compressed cluster) return without assembling any mask. The summation
+// order is fixed, so equal configurations always produce bit-identical
+// weights.
+func (c *Chain) particleWeight(p lattice.Point) float64 {
+	return c.weightFromWindow(c.g.Window(p))
+}
+
+// weightFromWindow computes the particle's total weight from its extracted
+// 5×5 window: two packed-table loads, then one weight-table lookup per
+// unoccupied direction, summed in direction order (the order fixes the
+// floating-point fold, keeping weights bit-reproducible).
+func (c *Chain) weightFromWindow(win grid.Window) float64 {
+	pm := win.Packed()
+	empty := ^pm.NeighborMask() & (1<<lattice.NumDirs - 1)
+	var sum float64
+	for ; empty != 0; empty &= empty - 1 {
+		d := bits.TrailingZeros8(empty)
+		sum += c.wTab[uint8(pm>>(8*d))]
+	}
+	return sum
+}
+
+// Lambda returns the bias parameter.
+func (c *Chain) Lambda() float64 { return c.lambda }
+
+// N returns the number of particles.
+func (c *Chain) N() int { return len(c.points) }
+
+// Steps returns the number of Metropolis-equivalent iterations elapsed,
+// holds included: directly comparable to chain.Chain.Steps.
+func (c *Chain) Steps() uint64 { return c.steps }
+
+// Events returns the number of applied moves (kMC events).
+func (c *Chain) Events() uint64 { return c.events }
+
+// Accepted returns the number of applied moves; every event is an accepted
+// move, so this equals Events. The name matches chain.Chain.
+func (c *Chain) Accepted() uint64 { return c.events }
+
+// Edges returns e(σ) for the current configuration.
+func (c *Chain) Edges() int { return c.g.Edges() }
+
+// TotalWeight returns W(σ) = Σ_i W_i, the summed acceptance weight of every
+// currently valid move. W/(6n) is the per-step probability that the
+// Metropolis chain would leave the current state.
+func (c *Chain) TotalWeight() float64 { return c.fen.total() }
+
+// ParticleWeight returns the maintained total weight of particle i.
+func (c *Chain) ParticleWeight(i int) float64 { return c.wj[i] }
+
+// SlotWeights recomputes the six per-direction weights of particle i. Their
+// sum equals ParticleWeight(i).
+func (c *Chain) SlotWeights(i int) [lattice.NumDirs]float64 {
+	var ws [lattice.NumDirs]float64
+	p := c.points[i]
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		if !c.g.Has(p.Neighbor(d)) {
+			ws[d] = c.wTab[c.g.PairMask(p, d)]
+		}
+	}
+	return ws
+}
+
+// Points returns the current particle locations; index i is the particle
+// whose weights ParticleWeight(i) and SlotWeights(i) report.
+func (c *Chain) Points() []lattice.Point {
+	return append([]lattice.Point(nil), c.points...)
+}
+
+// Perimeter returns p(σ), using the Lemma 2.3 identity p = 3n − 3 − e once
+// the chain has reached the hole-free space Ω* (cf. chain.Chain.Perimeter).
+func (c *Chain) Perimeter() int {
+	if len(c.points) == 1 {
+		return 0
+	}
+	if c.holesGone {
+		return 3*len(c.points) - 3 - c.Edges()
+	}
+	cycles, edges := c.g.Boundaries()
+	if cycles <= 1 {
+		c.holesGone = true
+		return 3*len(c.points) - 3 - c.Edges()
+	}
+	return edges
+}
+
+// HoleFree reports whether the chain has reached the hole-free space Ω*.
+func (c *Chain) HoleFree() bool {
+	if !c.holesGone && !c.g.HasHoles() {
+		c.holesGone = true
+	}
+	return c.holesGone
+}
+
+// Config returns a snapshot copy of the current configuration.
+func (c *Chain) Config() *config.Config { return config.FromGrid(c.g) }
+
+// sampleHold draws the geometric number of Metropolis-equivalent steps until
+// the next event fires, K ~ Geometric(p) with p = W/(6n) and support {1, 2,
+// …} — exactly the Metropolis chain's waiting time at the current state.
+// With no valid moves the state is absorbing and the hold is effectively
+// infinite.
+func (c *Chain) sampleHold() {
+	p := c.fen.total() / float64(6*len(c.points))
+	if p <= 0 {
+		c.hold = math.MaxUint64
+		return
+	}
+	if p >= 1 {
+		c.hold = 1
+		return
+	}
+	k := math.Floor(math.Log1p(-c.rng.Float64()) / math.Log1p(-p))
+	if math.IsNaN(k) || k >= math.MaxUint64/2 {
+		c.hold = math.MaxUint64
+		return
+	}
+	c.hold = 1 + uint64(k)
+}
+
+// fireEvent samples the next applied move proportionally to its acceptance
+// weight, applies it, and re-classifies the dirty neighborhood. It reports
+// whether a move was applied; false means floating-point drift had left the
+// tree claiming weight where there is none, in which case the tree has been
+// rebuilt exactly and the caller should resample the hold.
+func (c *Chain) fireEvent() bool {
+	W := c.fen.total()
+	i := c.fen.find(c.rng.Float64() * W)
+	if c.wj[i] == 0 {
+		// Floating-point drift steered the prefix search onto a zero-weight
+		// leaf; squash the drift and resample.
+		c.fen.rebuild(c.wj)
+		c.eventsSinceRebuild = 0
+		if c.fen.total() <= 0 {
+			return false
+		}
+		i = c.fen.find(c.rng.Float64() * c.fen.total())
+		if c.wj[i] == 0 {
+			return false
+		}
+	}
+	l := c.points[i]
+
+	// Direction ∝ slot weight, from freshly recomputed slots (their sum is
+	// the authoritative wj[i] by construction).
+	var ws [lattice.NumDirs]float64
+	var sum float64
+	pm := c.g.Window(l).Packed()
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		if pm.NeighborMask()>>d&1 == 0 {
+			ws[d] = c.wTab[uint8(pm>>(8*uint(d)))]
+			sum += ws[d]
+		}
+	}
+	v := c.rng.Float64() * sum
+	d := lattice.Dir(lattice.NumDirs - 1)
+	for dd := lattice.Dir(0); dd < lattice.NumDirs; dd++ {
+		if v -= ws[dd]; v < 0 {
+			d = dd
+			break
+		}
+	}
+	if ws[d] == 0 {
+		// v fell off the end through drift; take the last nonzero slot.
+		for dd := lattice.Dir(lattice.NumDirs - 1); dd >= 0; dd-- {
+			if ws[dd] > 0 {
+				d = dd
+				break
+			}
+		}
+	}
+
+	lp := l.Neighbor(d)
+	c.g.Move(l, lp)
+	c.points[i] = lp
+	c.idx.clear(l)
+	c.idx.set(lp, int32(i), c.points)
+	c.events++
+
+	// Re-classify the dirty neighborhood: every occupied cell whose masks
+	// can see ℓ or ℓ′, including the moved particle itself. DirtyWindows
+	// hands back each cell with its 5×5 window already extracted.
+	c.dirtyBuf = c.g.DirtyWindows(l, d, c.dirtyBuf[:0])
+	for _, cw := range c.dirtyBuf {
+		j := c.idx.at(cw.P)
+		w := c.weightFromWindow(cw.Win)
+		if w != c.wj[j] {
+			c.fen.add(int(j), w-c.wj[j])
+			c.wj[j] = w
+		}
+	}
+
+	if c.eventsSinceRebuild++; c.eventsSinceRebuild >= rebuildEvery {
+		c.fen.rebuild(c.wj)
+		c.eventsSinceRebuild = 0
+	}
+	return true
+}
+
+// Run advances the chain by exactly n Metropolis-equivalent iterations and
+// returns the number of moves applied. Partial holds carry across calls
+// (geometric memorylessness makes that exact).
+func (c *Chain) Run(n uint64) uint64 {
+	var fired uint64
+	for n > 0 {
+		if c.hold == 0 {
+			c.sampleHold()
+		}
+		if c.hold > n {
+			c.hold -= n
+			c.steps += n
+			return fired
+		}
+		n -= c.hold
+		c.steps += c.hold
+		c.hold = 0
+		if c.fireEvent() {
+			fired++
+		}
+	}
+	return fired
+}
+
+// RunUntil executes up to max equivalent iterations, invoking check every
+// interval iterations; it stops early when check returns true. It returns
+// the number of iterations executed.
+func (c *Chain) RunUntil(max, interval uint64, check func() bool) uint64 {
+	if interval == 0 {
+		interval = 1
+	}
+	var done uint64
+	for done < max {
+		batch := interval
+		if done+batch > max {
+			batch = max - done
+		}
+		c.Run(batch)
+		done += batch
+		if check() {
+			return done
+		}
+	}
+	return done
+}
+
+// pindex maps occupied lattice cells to particle indices through a dense
+// int32 window mirroring the occupancy grid's layout, so the per-event dirty
+// loop resolves cells to particles without hashing. It grows by reallocation
+// when a particle moves outside the current window.
+type pindex struct {
+	minX, minY, w, h int
+	id               []int32
+}
+
+const pindexSlack = 8
+
+func newPindex(pts []lattice.Point) *pindex {
+	x := &pindex{}
+	x.reshape(pts)
+	return x
+}
+
+// reshape sizes the window to the bounding box of pts plus slack and indexes
+// every point.
+func (x *pindex) reshape(pts []lattice.Point) {
+	min, max := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+	}
+	x.minX, x.minY = min.X-pindexSlack, min.Y-pindexSlack
+	x.w, x.h = max.X-x.minX+pindexSlack+1, max.Y-x.minY+pindexSlack+1
+	x.id = make([]int32, x.w*x.h)
+	for k := range x.id {
+		x.id[k] = -1
+	}
+	for i, p := range pts {
+		x.id[(p.Y-x.minY)*x.w+(p.X-x.minX)] = int32(i)
+	}
+}
+
+func (x *pindex) contains(p lattice.Point) bool {
+	cx, cy := p.X-x.minX, p.Y-x.minY
+	return cx >= 0 && cy >= 0 && cx < x.w && cy < x.h
+}
+
+// at returns the particle index at p, which must be an indexed cell.
+func (x *pindex) at(p lattice.Point) int32 {
+	return x.id[(p.Y-x.minY)*x.w+(p.X-x.minX)]
+}
+
+// clear removes the index entry at p (p must be inside the window).
+func (x *pindex) clear(p lattice.Point) {
+	x.id[(p.Y-x.minY)*x.w+(p.X-x.minX)] = -1
+}
+
+// set records particle i at p, reshaping around all current points when p
+// falls outside the window.
+func (x *pindex) set(p lattice.Point, i int32, all []lattice.Point) {
+	if !x.contains(p) {
+		x.reshape(all)
+		return
+	}
+	x.id[(p.Y-x.minY)*x.w+(p.X-x.minX)] = i
+}

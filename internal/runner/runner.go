@@ -13,10 +13,59 @@ import (
 	"sops/internal/amoebot"
 	"sops/internal/chain"
 	"sops/internal/config"
+	"sops/internal/kmc"
 	"sops/internal/lattice"
 	"sops/internal/metrics"
 	"sops/internal/viz"
 )
+
+// Engine names. EngineChain and EngineKMC simulate the same sequential
+// stochastic process — the Metropolis chain evaluates every proposal and the
+// rejection-free kMC engine samples only applied moves, agreeing in
+// distribution at equal step counts — while EngineAmoebot runs the
+// distributed Algorithm A.
+const (
+	EngineChain   = "chain"
+	EngineKMC     = "kmc"
+	EngineAmoebot = "amoebot"
+)
+
+// Engines lists every execution engine.
+func Engines() []string { return []string{EngineChain, EngineKMC, EngineAmoebot} }
+
+// Sequential is the interface shared by the sequential chain engines:
+// *chain.Chain (Metropolis on the bit-packed grid) and *kmc.Chain
+// (rejection-free). Steps and Run both count Metropolis-equivalent
+// iterations, so budgets and stopping rules are engine-independent.
+type Sequential interface {
+	Run(n uint64) uint64
+	RunUntil(max, interval uint64, check func() bool) uint64
+	Steps() uint64
+	Accepted() uint64
+	Perimeter() int
+	Edges() int
+	HoleFree() bool
+	Config() *config.Config
+	N() int
+	Lambda() float64
+}
+
+var (
+	_ Sequential = (*chain.Chain)(nil)
+	_ Sequential = (*kmc.Chain)(nil)
+)
+
+// NewSequential constructs the named sequential engine over a copy of σ0.
+func NewSequential(engine string, sigma0 *config.Config, lambda float64, seed uint64) (Sequential, error) {
+	switch engine {
+	case EngineChain, "":
+		return chain.New(sigma0, lambda, seed)
+	case EngineKMC:
+		return kmc.New(sigma0, lambda, seed)
+	default:
+		return nil, fmt.Errorf("sops: engine %q is not sequential (want %s|%s)", engine, EngineChain, EngineKMC)
+	}
+}
 
 // StartShape selects the initial configuration of a run.
 type StartShape string
@@ -115,8 +164,14 @@ type Options struct {
 	Seed uint64
 	// Start selects the initial shape; default StartLine.
 	Start StartShape
+	// Engine selects the execution engine: EngineChain (default), EngineKMC
+	// (rejection-free sequential engine), or EngineAmoebot (equivalent to
+	// Distributed).
+	Engine string
 	// Distributed selects the amoebot Algorithm A with Poisson-clock
-	// scheduling instead of the sequential Markov chain M.
+	// scheduling instead of the sequential Markov chain M. It is the legacy
+	// spelling of Engine == EngineAmoebot; setting both to conflicting
+	// values is an error.
 	Distributed bool
 	// CrashFraction crash-fails this fraction of particles at the start of
 	// a distributed run (§3.3 fault tolerance). Only valid with
@@ -175,6 +230,10 @@ func (o Options) iterations() uint64 {
 // (§3.2); distributed runs exercise the full expansion/contraction/flag
 // machinery.
 func Compress(opts Options) (*Result, error) {
+	engine, err := opts.engine()
+	if err != nil {
+		return nil, err
+	}
 	start, err := opts.startConfig()
 	if err != nil {
 		return nil, err
@@ -182,20 +241,40 @@ func Compress(opts Options) (*Result, error) {
 	if opts.CrashFraction < 0 || opts.CrashFraction >= 1 {
 		return nil, fmt.Errorf("sops: CrashFraction must be in [0,1), got %v", opts.CrashFraction)
 	}
-	if opts.CrashFraction > 0 && !opts.Distributed {
-		return nil, fmt.Errorf("sops: CrashFraction requires Distributed")
+	if opts.CrashFraction > 0 && engine != EngineAmoebot {
+		return nil, fmt.Errorf("sops: CrashFraction requires the %s engine", EngineAmoebot)
 	}
-	if opts.Workers > 1 && !opts.Distributed {
-		return nil, fmt.Errorf("sops: Workers requires Distributed")
+	if opts.Workers > 1 && engine != EngineAmoebot {
+		return nil, fmt.Errorf("sops: Workers requires the %s engine", EngineAmoebot)
 	}
-	if opts.Distributed {
+	if engine == EngineAmoebot {
 		return compressDistributed(opts, start)
 	}
-	return compressSequential(opts, start)
+	return compressSequential(engine, opts, start)
 }
 
-func compressSequential(opts Options, start *config.Config) (*Result, error) {
-	c, err := chain.New(start, opts.Lambda, opts.Seed)
+// engine resolves the Engine/Distributed pair to one engine name.
+func (o Options) engine() (string, error) {
+	switch o.Engine {
+	case "":
+		if o.Distributed {
+			return EngineAmoebot, nil
+		}
+		return EngineChain, nil
+	case EngineChain, EngineKMC:
+		if o.Distributed {
+			return "", fmt.Errorf("sops: Distributed conflicts with Engine %q", o.Engine)
+		}
+		return o.Engine, nil
+	case EngineAmoebot:
+		return EngineAmoebot, nil
+	default:
+		return "", fmt.Errorf("sops: unknown engine %q (want %s|%s|%s)", o.Engine, EngineChain, EngineKMC, EngineAmoebot)
+	}
+}
+
+func compressSequential(engine string, opts Options, start *config.Config) (*Result, error) {
+	c, err := NewSequential(engine, start, opts.Lambda, opts.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,16 @@ const (
 	StartTree = runner.StartTree
 )
 
+// Engine names for Options.Engine and the experiment engine axis. Chain and
+// KMC simulate the same sequential process — Metropolis proposals versus
+// rejection-free event sampling, equal in distribution at equal step counts;
+// Amoebot is the distributed Algorithm A.
+const (
+	EngineChain   = runner.EngineChain
+	EngineKMC     = runner.EngineKMC
+	EngineAmoebot = runner.EngineAmoebot
+)
+
 // CompressionThreshold returns 2+√2 ≈ 3.414: the paper proves
 // α-compression for every λ above it (Theorem 4.5, Corollary 4.6).
 func CompressionThreshold() float64 { return 2 + math.Sqrt2 }
