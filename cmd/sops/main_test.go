@@ -90,6 +90,48 @@ func TestCmdRunSmallRun(t *testing.T) {
 	}
 }
 
+// TestCmdRunAlignRule drives the run subcommand with the alignment rule on
+// every engine and checks the rule-specific metrics are reported.
+func TestCmdRunAlignRule(t *testing.T) {
+	for _, engine := range []string{"chain", "kmc", "amoebot"} {
+		out, err := captureStdout(t, func() error {
+			return cmdRun([]string{"-n", "12", "-lambda", "4", "-iters", "4000",
+				"-engine", engine, "-rule", "align", "-states", "3", "-snapshots", "0", "-render=false"})
+		})
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		for _, want := range []string{"rule=align", "rotations=", "energy=", "order="} {
+			if !strings.Contains(out, want) {
+				t.Errorf("engine %s: output missing %q:\n%s", engine, want, out)
+			}
+		}
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-n", "5", "-rule", "telepathy"})
+	}); err == nil || !strings.Contains(err.Error(), "unknown rule") {
+		t.Errorf("unknown rule: got %v", err)
+	}
+}
+
+// TestCmdSweepAlignScenario: the align scenario sweeps the rule axis and
+// emits the order-parameter metric.
+func TestCmdSweepAlignScenario(t *testing.T) {
+	dir := t.TempDir()
+	out, err := captureStdout(t, func() error {
+		return cmdSweep([]string{"-scenario", "align", "-lambdas", "3", "-sizes", "10",
+			"-engines", "chain,kmc", "-iters", "2000", "-reps", "1", "-seed", "2", "-dir", dir, "-quiet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"align", "order", "run=2 replayed=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("align sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestCmdRunRejectsUnknownEngine: engine validation happens before any work.
 func TestCmdRunRejectsUnknownEngine(t *testing.T) {
 	_, err := captureStdout(t, func() error {

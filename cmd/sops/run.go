@@ -20,6 +20,8 @@ func cmdRun(args []string) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		start     = fs.String("start", "line", "starting shape: line|spiral|random|tree")
 		engine    = fs.String("engine", experiment.EngineChain, "execution engine: chain|kmc|amoebot")
+		ruleName  = fs.String("rule", sops.RuleCompression, "local rule: compression|align")
+		states    = fs.Int("states", 0, "payload state count for payload rules (0 = rule default; align defaults to 6 orientations)")
 		workers   = fs.Int("workers", 0, "drive an amoebot run with this many concurrent goroutines")
 		crash     = fs.Float64("crash", 0, "fraction of particles to crash-fail (amoebot engine only)")
 		snapshots = fs.Int("snapshots", 5, "number of equally spaced snapshots to print")
@@ -39,6 +41,8 @@ func cmdRun(args []string) error {
 		Seed:       *seed,
 		Start:      sops.StartShape(*start),
 		Engine:     *engine,
+		Rule:       *ruleName,
+		RuleStates: *states,
 	}
 	if *crash > 0 {
 		opts.CrashFraction = *crash
@@ -66,6 +70,9 @@ func cmdRun(args []string) error {
 	case experiment.EngineAmoebot:
 		mode = "distributed algorithm A"
 	}
+	if res.Rule != sops.RuleCompression {
+		mode += " / rule=" + res.Rule
+	}
 	fmt.Printf("# %s: n=%d λ=%.3g start=%s seed=%d\n", mode, *n, *lambda, *start, *seed)
 	fmt.Printf("# pmin=%d pmax=%d compression for λ>%.4f, expansion for λ<%.4f\n",
 		sops.PMin(*n), sops.PMax(*n), sops.CompressionThreshold(), sops.ExpansionThreshold())
@@ -77,6 +84,12 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("final: iterations=%d moves=%d perimeter=%d edges=%d triangles=%d α=%.3f β=%.3f",
 		res.Iterations, res.Moves, res.Perimeter, res.Edges, res.Triangles, res.Alpha, res.Beta)
+	if res.Rule != sops.RuleCompression {
+		fmt.Printf(" rotations=%d energy=%d", res.Rotations, res.Energy)
+		if res.Edges > 0 {
+			fmt.Printf(" order=%.3f", float64(res.Energy)/float64(res.Edges))
+		}
+	}
 	if *engine == experiment.EngineAmoebot {
 		fmt.Printf(" rounds=%d crashed=%d", res.Rounds, len(res.Crashed))
 	}

@@ -27,6 +27,8 @@ func cmdSweep(args []string) error {
 		sizes    = fs.String("sizes", "", "comma-separated particle counts (scenario default if empty)")
 		starts   = fs.String("starts", "", "comma-separated start shapes: line|spiral|random|tree")
 		engines  = fs.String("engines", "", "comma-separated engines: chain|kmc|amoebot")
+		rules    = fs.String("rules", "", "comma-separated local rules: compression|align (scenario default if empty)")
+		states   = fs.Int("states", 0, "payload state count for payload rules (0 = rule default)")
 		crash    = fs.String("crash", "", "comma-separated crash fractions (amoebot engine only)")
 		reps     = fs.Int("reps", 3, "independent replications per sweep point")
 		iters    = fs.Uint64("iters", 0, "per-run budget (0 = scenario default)")
@@ -56,6 +58,8 @@ func cmdSweep(args []string) error {
 		Sizes:          ns,
 		Starts:         parseStrings(*starts),
 		Engines:        parseStrings(*engines),
+		Rules:          parseStrings(*rules),
+		RuleStates:     *states,
 		CrashFractions: crashes,
 		Reps:           *reps,
 		Iterations:     *iters,
@@ -126,8 +130,12 @@ func cmdListScenarios(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-22s   lambdas=%v sizes=%v starts=%v engines=%v crash=%v\n",
-				"", spec.Lambdas, spec.Sizes, spec.Starts, spec.Engines, spec.CrashFractions)
+			rules := spec.Rules
+			if len(rules) == 0 {
+				rules = []string{sops.RuleCompression}
+			}
+			fmt.Printf("%-22s   lambdas=%v sizes=%v starts=%v engines=%v rules=%v crash=%v\n",
+				"", spec.Lambdas, spec.Sizes, spec.Starts, spec.Engines, rules, spec.CrashFractions)
 		}
 	}
 	return nil
@@ -141,8 +149,8 @@ func printSummaries(w *os.File, res *sops.ExperimentResult) {
 	fmt.Fprintf(w, "# scenario=%s reps=%d seed=%d points=%d tasks=%d (run=%d replayed=%d failed=%d)\n",
 		spec.Scenario, spec.Reps, spec.Seed, len(res.Summaries),
 		res.TasksRun+res.TasksReplayed, res.TasksRun, res.TasksReplayed, res.Failures)
-	fmt.Fprintf(w, "%8s %6s %7s %8s %6s  %-22s %10s %9s %4s\n",
-		"lambda", "n", "start", "engine", "crash", "metric", "mean", "±95%", "reps")
+	fmt.Fprintf(w, "%8s %6s %7s %8s %12s %6s  %-22s %10s %9s %4s\n",
+		"lambda", "n", "start", "engine", "rule", "crash", "metric", "mean", "±95%", "reps")
 	for _, s := range res.Summaries {
 		names := make([]string, 0, len(s.ByMetric))
 		for name := range s.ByMetric {
@@ -159,8 +167,8 @@ func printSummaries(w *os.File, res *sops.ExperimentResult) {
 			if !math.IsInf(m.CI95(), 1) {
 				ci = fmt.Sprintf("%.3g", m.CI95())
 			}
-			fmt.Fprintf(w, "%8.3g %6d %7s %8s %6.3g  %-22s %10.4g %9s %4d\n",
-				s.Point.Lambda, s.Point.N, s.Point.Start, s.Point.Engine, s.Point.Crash,
+			fmt.Fprintf(w, "%8.3g %6d %7s %8s %12s %6.3g  %-22s %10.4g %9s %4d\n",
+				s.Point.Lambda, s.Point.N, s.Point.Start, s.Point.Engine, s.Point.Rule, s.Point.Crash,
 				name, m.Mean, ci, m.N)
 		}
 		if s.Failures > 0 {

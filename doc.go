@@ -18,9 +18,13 @@
 // engine — Options.Engine) or the distributed amoebot Algorithm A and
 // reports compression metrics and snapshots, and RunExperiment drives
 // declarative, resumable scenario sweeps over the workload registry (what
-// `cmd/sops sweep` wraps). The substrates live under internal/ (lattice
-// geometry, configurations, the chain, the amoebot world and scheduler, the
-// bit-packed grid engine, exact enumeration, self-avoiding walks, and the
-// experiment engine); see DESIGN.md for the full inventory and
-// EXPERIMENTS.md for the paper-versus-measured record.
+// `cmd/sops sweep` wraps). Options.Rule swaps the local rule every engine
+// runs: the default compression chain, or the oriented-particle alignment
+// chain (RuleAlignment) with per-particle orientation spins and rotation
+// moves — a compiled (guard, Hamiltonian) pair from internal/rule. The
+// substrates live under internal/ (lattice geometry, configurations, the
+// rule layer, the chain, the amoebot world and scheduler, the bit-packed
+// grid engine, exact enumeration, self-avoiding walks, and the experiment
+// engine); see DESIGN.md for the full inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
 package sops

@@ -1,13 +1,18 @@
 // Expansion reproduces Fig 10 and the counterintuitive half of the paper:
 // with λ = 2 particles favor having neighbors (λ > 1), yet the system
-// provably does NOT compress — entropy wins below λ < 2.17. The same 100
-// particles that compressed at λ = 4 stay expanded after 20 million
-// iterations at λ = 2.
+// provably does NOT compress — entropy wins for λ < 2.17 (Theorems 4.2 and
+// 5.7). The sweep runs through the experiment engine — the same registry,
+// worker pool, and deterministic aggregation behind `sops sweep -scenario
+// compress` — using the canonical rule.Compression chain in its expansion
+// regime, with λ < 1 points (particles actively avoiding neighbors) next to
+// the paper's λ = 2 for contrast, and replication with confidence intervals
+// for free.
 //
 //	go run ./examples/expansion
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,29 +21,32 @@ import (
 
 func main() {
 	const (
-		n      = 100
-		lambda = 2
-		iters  = 20_000_000
+		n     = 100
+		iters = 5_000_000
 	)
-	fmt.Printf("Fig 10 reproduction: n=%d, λ=%g (favors neighbors but < %.4f)\n",
-		n, float64(lambda), sops.ExpansionThreshold())
-	fmt.Printf("pmin=%d pmax=%d; β-expansion predicts perimeter stays Θ(n)\n\n", sops.PMin(n), sops.PMax(n))
+	fmt.Printf("Fig 10 reproduction: n=%d, λ swept through the expansion regime (< %.4f)\n",
+		n, sops.ExpansionThreshold())
+	fmt.Printf("pmin=%d pmax=%d; β-expansion predicts the perimeter stays Θ(n)\n\n", sops.PMin(n), sops.PMax(n))
 
-	res, err := sops.Compress(sops.Options{
-		N:             n,
-		Lambda:        lambda,
-		Iterations:    iters,
-		Seed:          1603,
-		Start:         sops.StartLine,
-		SnapshotEvery: iters / 4,
-	})
+	res, err := sops.RunExperiment(context.Background(), sops.ExperimentSpec{
+		Scenario: "compress",
+		// λ = 0.5 actively expels neighbors; λ = 2 rewards them (λ > 1) yet
+		// still provably expands — the paper's point.
+		Lambdas:    []float64{0.5, 2},
+		Sizes:      []int{n},
+		Iterations: iters,
+		Reps:       3,
+		Seed:       1603,
+	}, sops.ExperimentOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%14s %10s %7s %7s\n", "iterations", "perimeter", "alpha", "beta")
-	for _, s := range res.Snapshots {
-		fmt.Printf("%14d %10d %7.3f %7.3f\n", s.Iteration, s.Perimeter, s.Alpha, s.Beta)
+
+	fmt.Printf("%8s %10s %7s %7s %7s\n", "lambda", "perimeter", "alpha", "beta", "±95%")
+	for _, s := range res.Summaries {
+		p, alpha, beta := s.ByMetric["perimeter"], s.ByMetric["alpha"], s.ByMetric["beta"]
+		fmt.Printf("%8.2f %10.1f %7.2f %7.2f %7.2f\n",
+			s.Point.Lambda, p.Mean, alpha.Mean, beta.Mean, beta.CI95())
 	}
-	fmt.Printf("\nno compression: final α = %.2f (β = %.2f) — compare λ=4 in examples/compression\n",
-		res.Alpha, res.Beta)
+	fmt.Printf("\nno compression at either λ: β stays Θ(1) — compare λ=4 in examples/compression\n")
 }

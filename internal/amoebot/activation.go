@@ -3,6 +3,7 @@ package amoebot
 import (
 	"math/rand/v2"
 
+	"sops/internal/grid"
 	"sops/internal/lattice"
 	"sops/internal/move"
 )
@@ -35,6 +36,11 @@ func (a *Activation) SetFlag(v bool) { a.p.flag = v }
 
 // RandDir returns a uniformly random lattice direction.
 func (a *Activation) RandDir() lattice.Dir { return lattice.Dir(a.rng.IntN(lattice.NumDirs)) }
+
+// RandSlot returns a uniformly random proposal slot in [0, slots). With
+// slots == lattice.NumDirs it consumes randomness exactly as RandDir, which
+// keeps compression trajectories bit-identical to the pre-rule protocol.
+func (a *Activation) RandSlot(slots int) int { return a.rng.IntN(slots) }
 
 // RandFloat returns a uniform q ∈ [0, 1).
 func (a *Activation) RandFloat() float64 { return a.rng.Float64() }
@@ -104,11 +110,47 @@ func (a *Activation) SatisfiesMoveProperties() bool {
 // the three finer-grained accessors remain for protocols that need only one
 // quantity.
 func (a *Activation) MoveClass() (move.Class, bool) {
+	m, ok := a.MoveMask()
+	if !ok {
+		return 0, false
+	}
+	return move.Classify(m), true
+}
+
+// MoveMask returns the raw canonical pair mask of the expanded particle's
+// (tail, head) pair over N*(·) — the index into a rule's compiled guard and
+// Hamiltonian tables. The second return is false if the particle is not
+// expanded.
+func (a *Activation) MoveMask() (grid.Mask, bool) {
 	d, ok := a.p.tail.DirTo(a.p.head)
 	if !ok {
 		return 0, false
 	}
-	return move.Classify(a.w.tails.PairMask(a.p.tail, d)), true
+	return a.w.tails.PairMask(a.p.tail, d), true
+}
+
+// Payload returns the activating particle's payload state (0 for stateless
+// protocols). The payload lives at the particle's tail cell, so it rides
+// along automatically when a relocation completes.
+func (a *Activation) Payload() uint8 { return a.w.tails.Payload(a.p.tail) }
+
+// setPayload writes the activating particle's payload state.
+func (a *Activation) setPayload(v uint8) {
+	a.w.tails.SetPayload(a.p.tail, v)
+	a.w.rotations++
+}
+
+// sameNeighborMask returns the 6-bit mask of tail neighbors of the
+// activating particle's tail whose payload equals s.
+func (a *Activation) sameNeighborMask(s uint8) uint8 {
+	return a.w.tails.SameNeighborMask(a.p.tail, s)
+}
+
+// moveSame filters the expanded particle's pair mask m down to the cells
+// whose payload equals the particle's own.
+func (a *Activation) moveSame(m grid.Mask) grid.Mask {
+	d, _ := a.p.tail.DirTo(a.p.head)
+	return a.w.tails.PairSame(a.p.tail, d, m, a.Payload())
 }
 
 // satisfiesMovePropertiesOracle is the pre-refactor implementation over the

@@ -2,31 +2,58 @@ package amoebot
 
 import (
 	"fmt"
-	"math"
+
+	"sops/internal/lattice"
+	"sops/internal/rule"
 )
 
-// Compression is Algorithm A of §3.2: the fully distributed, local,
-// asynchronous translation of Markov chain M. Each particle runs the same
-// code; the only persistent state is the one-bit flag, making the algorithm
-// nearly oblivious (§3.3).
-type Compression struct {
-	lambda float64
-	// lamPow caches λ^k for k ∈ [−5, 5] at index k+5.
-	lamPow [11]float64
+// Metropolis is the distributed, local, asynchronous translation of the
+// sequential Metropolis engine for any compiled rule — Algorithm A of §3.2
+// when the rule is compression. Each particle runs the same code; the only
+// persistent state is the one-bit flag (plus, for payload rules, the
+// particle's payload byte stored at its tail), keeping the algorithm nearly
+// oblivious (§3.3).
+//
+// On activation a contracted particle draws one of the rule's proposal
+// slots uniformly: a translation slot expands toward the chosen direction
+// exactly as Algorithm A does, and a rotation slot (payload rules)
+// evaluates the Metropolis filter on the payload change immediately —
+// rotations touch no second node, so the expand/contract handshake and the
+// flag are unnecessary and the activation stays atomic.
+type Metropolis struct {
+	ru *rule.Rule
+}
+
+// Compression is the canonical compression instance of the protocol:
+// Algorithm A of §3.2.
+type Compression = Metropolis
+
+// NewMetropolis returns the distributed protocol for a compiled rule.
+func NewMetropolis(ru *rule.Rule) (*Metropolis, error) {
+	if ru == nil {
+		return nil, fmt.Errorf("amoebot: nil rule")
+	}
+	return &Metropolis{ru: ru}, nil
+}
+
+// MustNewMetropolis is NewMetropolis but panics on error.
+func MustNewMetropolis(ru *rule.Rule) *Metropolis {
+	p, err := NewMetropolis(ru)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // NewCompression returns the compression protocol with bias λ > 0. The paper
 // analyzes λ > 2+√2 for compression and λ < 2.17 for expansion; any positive
 // bias is a valid input.
 func NewCompression(lambda float64) (*Compression, error) {
-	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
-		return nil, fmt.Errorf("amoebot: bias λ must be a positive finite number, got %v", lambda)
+	ru, err := rule.New(rule.NameCompression, lambda, 0)
+	if err != nil {
+		return nil, fmt.Errorf("amoebot: %w", err)
 	}
-	c := &Compression{lambda: lambda}
-	for k := -5; k <= 5; k++ {
-		c.lamPow[k+5] = math.Pow(lambda, float64(k))
-	}
-	return c, nil
+	return &Compression{ru: ru}, nil
 }
 
 // MustNewCompression is NewCompression but panics on error.
@@ -38,14 +65,23 @@ func MustNewCompression(lambda float64) *Compression {
 	return c
 }
 
-// Lambda returns the bias parameter.
-func (c *Compression) Lambda() float64 { return c.lambda }
+// Rule returns the rule the protocol runs.
+func (c *Metropolis) Rule() *rule.Rule { return c.ru }
 
-// Activate runs one atomic activation of Algorithm A.
-func (c *Compression) Activate(a *Activation) {
+// Lambda returns the bias parameter.
+func (c *Metropolis) Lambda() float64 { return c.ru.Lambda() }
+
+// Activate runs one atomic activation of the protocol.
+func (c *Metropolis) Activate(a *Activation) {
 	if !a.Expanded() {
-		// Steps 1–7: contracted phase.
-		d := a.RandDir()
+		// Steps 1–7: contracted phase. One uniform slot draw covers the six
+		// expansion directions and, for payload rules, the rotation targets.
+		slot := a.RandSlot(c.ru.Slots())
+		if slot >= lattice.NumDirs {
+			c.rotate(a, slot-lattice.NumDirs)
+			return
+		}
+		d := lattice.Dir(slot)
 		if a.OccupiedAt(d) || a.HasExpandedNeighborAtTail() {
 			return
 		}
@@ -61,16 +97,20 @@ func (c *Compression) Activate(a *Activation) {
 		}
 		return
 	}
-	// Steps 8–13: expanded phase. One mask classification answers the
-	// degree guard, both move properties, and the Metropolis exponent.
+	// Steps 8–13: expanded phase. One mask extraction answers the rule's
+	// guard and the Metropolis exponent.
 	q := a.RandFloat()
-	cl, expanded := a.MoveClass()
-	e := cl.Degree()
-	ep := cl.TargetDegree()
-	ok := expanded && e != 5 &&
-		(cl.Property1() || cl.Property2()) &&
-		q < c.lamPow[clampExp(ep-e)+5] &&
-		a.Flag()
+	m, expanded := a.MoveMask()
+	ok := false
+	if expanded && c.ru.Allowed(m) {
+		acc := 0.0
+		if c.ru.Stateless() {
+			acc = c.ru.Accept(m)
+		} else {
+			acc = c.ru.AcceptPay(m, a.moveSame(m))
+		}
+		ok = q < acc && a.Flag()
+	}
 	if ok {
 		a.ContractToHead()
 	} else {
@@ -78,12 +118,14 @@ func (c *Compression) Activate(a *Activation) {
 	}
 }
 
-func clampExp(k int) int {
-	if k < -5 {
-		return -5
+// rotate proposes the j-th alternative payload state for the contracted
+// activating particle and applies the Metropolis filter on the rotation ΔH.
+func (c *Metropolis) rotate(a *Activation, j int) {
+	q := a.RandFloat()
+	s := a.Payload()
+	t := c.ru.RotTarget(s, j)
+	delta := c.ru.RotDelta(a.sameNeighborMask(s), a.sameNeighborMask(t))
+	if q < c.ru.RotAccept(delta) {
+		a.setPayload(t)
 	}
-	if k > 5 {
-		return 5
-	}
-	return k
 }

@@ -13,6 +13,7 @@ import (
 	"sops/internal/config"
 	"sops/internal/grid"
 	"sops/internal/lattice"
+	"sops/internal/rule"
 )
 
 // ParticleID identifies a particle within a World. IDs exist only for the
@@ -67,6 +68,7 @@ type World struct {
 
 	activations uint64
 	moves       uint64 // completed relocations (contract-to-head events)
+	rotations   uint64 // applied payload changes (payload rules only)
 
 	// round bookkeeping: a round completes once every non-crashed particle
 	// has activated at least once since the round began (§2.1). live counts
@@ -110,6 +112,30 @@ func (w *World) Activations() uint64 { return w.activations }
 // Moves returns the number of completed relocations (expansions that
 // contracted to the new node).
 func (w *World) Moves() uint64 { return w.moves }
+
+// Rotations returns the number of applied payload changes (zero unless the
+// protocol runs a payload rule over a seeded payload).
+func (w *World) Rotations() uint64 { return w.rotations }
+
+// SeedPayload enables per-particle payload state and assigns every particle
+// an independent uniform state in [0, states), drawn from a generator
+// seeded with seed in particle-id order — deterministic for a fixed
+// (σ0, states, seed). Payload rules require it before the first activation.
+func (w *World) SeedPayload(states int, seed uint64) {
+	w.tails.EnablePayload()
+	rng := rand.New(rand.NewPCG(seed, 0x7f4a7c159e3779b9))
+	for _, p := range w.particles {
+		w.tails.SetPayload(p.tail, uint8(rng.IntN(states)))
+	}
+}
+
+// Energy returns H(σ) of the rule over the tail configuration (payloads
+// included): the order-parameter observable for payload rules, e(σ) for
+// compression.
+func (w *World) Energy(ru *rule.Rule) int { return ru.Energy(w.tails) }
+
+// Payload returns the payload state at a particle's tail.
+func (w *World) Payload(id ParticleID) uint8 { return w.tails.Payload(w.particles[id].tail) }
 
 // Rounds returns the number of completed asynchronous rounds: maximal
 // periods in which every live particle activated at least once.

@@ -1,18 +1,22 @@
-// Package chain implements the compression Markov chain M of the paper
-// (§3.1, Algorithm M): a Metropolis chain over connected particle
-// configurations whose stationary distribution is π(σ) ∝ λ^e(σ) on the
-// hole-free state space Ω* (Lemma 3.13), equivalently π(σ) ∝ λ^{−p(σ)}
-// (Corollary 3.14). Each step selects a particle and a direction uniformly at
-// random, validates the move locally (degree ≠ 5 and Property 1 or 2), and
-// applies the Metropolis filter with bias λ.
+// Package chain implements the sequential Metropolis engine for local
+// stochastic particle rules, canonically the compression Markov chain M of
+// the paper (§3.1, Algorithm M): a Metropolis chain over connected particle
+// configurations whose stationary distribution is π(σ) ∝ λ^{H(σ)} on the
+// reachable state space — H(σ) = e(σ) for compression (Lemma 3.13),
+// equivalently π(σ) ∝ λ^{−p(σ)} (Corollary 3.14). Each step selects a
+// particle and a proposal slot uniformly at random — one of the six move
+// directions, plus one slot per alternative payload state for rules with
+// rotations — validates the proposal locally through the rule's compiled
+// guard table, and applies the Metropolis filter λ^{ΔH}.
 //
-// The chain runs on the bit-packed grid engine: occupancy lives in
-// grid.Grid, and the per-step validity check is one 8-bit neighborhood-mask
-// extraction plus one lookup in the move.Classify table, with no heap
-// allocation. The original map-backed implementation remains available via
-// WithReferenceEngine as the differential-testing oracle; both engines
-// consume randomness identically, so a (σ0, λ, seed) triple produces the
-// same trajectory on either.
+// The chain runs on the bit-packed grid engine: occupancy (and, for payload
+// rules, per-particle state) lives in grid.Grid, and the per-step validity
+// check is one 8-bit neighborhood-mask extraction plus lookups in the
+// rule's 256-entry tables, with no heap allocation. The canonical
+// rule.Compression(λ) reproduces the pre-rule hard-coded chain bit for bit:
+// a (σ0, λ, seed) triple produces the same trajectory. The original
+// map-backed implementation remains available via WithReferenceEngine as
+// the differential-testing oracle for the compression rule.
 package chain
 
 import (
@@ -24,6 +28,7 @@ import (
 	"sops/internal/grid"
 	"sops/internal/lattice"
 	"sops/internal/move"
+	"sops/internal/rule"
 )
 
 // Option customizes a Chain; the variants are used by the ablation
@@ -44,19 +49,24 @@ func WithoutProperty2() Option { return func(c *Chain) { c.prop2 = false } }
 
 // WithReferenceEngine runs the chain on the original map-backed
 // config.Config with the BFS/ring-walk move checks instead of the bit-packed
-// grid and mask tables. It exists for differential testing: both engines
-// must produce identical trajectories from identical (σ0, λ, seed).
+// grid and rule tables. It exists for differential testing: both engines
+// must produce identical trajectories from identical (σ0, λ, seed). It is
+// compression-only (NewWithRule rejects it for other rules).
 func WithReferenceEngine() Option { return func(c *Chain) { c.reference = true } }
 
-// Chain is a running instance of Markov chain M. It is not safe for
-// concurrent use; run independent chains in separate goroutines instead.
+// Chain is a running Metropolis instance of a local rule. It is not safe
+// for concurrent use; run independent chains in separate goroutines instead.
 type Chain struct {
 	g      *grid.Grid     // fast engine (nil when reference is set)
 	cfg    *config.Config // reference engine (nil unless reference is set)
 	points []lattice.Point
+	ru     *rule.Rule
 	lambda float64
-	// lamPow caches λ^k for k ∈ [−5, 5] at index k+5: the only exponents a
-	// single move can produce, since degrees lie in [0, 5].
+	// stateless and slots cache rule shape queries off the hot path.
+	stateless bool
+	slots     int
+	// lamPow caches λ^k for k ∈ [−5, 5] at index k+5 for the reference
+	// engine; the grid engine prices moves from the rule tables.
 	lamPow [11]float64
 	rng    *rand.Rand
 
@@ -65,27 +75,23 @@ type Chain struct {
 	prop1, prop2 bool
 
 	edges     int // reference engine only; the grid tracks its own count
+	hval      int // H(σ), maintained incrementally (grid engine)
 	steps     uint64
 	accepted  uint64
+	rotations uint64
 	holesGone bool // set once a hole-free configuration has been observed
 }
 
-// New creates a chain over a copy of the starting configuration σ0, which
-// must be non-empty and connected, with bias parameter λ > 0. The chain is
+// New creates a compression chain (Markov chain M, possibly ablated via
+// options) over a copy of the starting configuration σ0, which must be
+// non-empty and connected, with bias parameter λ > 0. The chain is
 // deterministic given (σ0, λ, seed).
 func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*Chain, error) {
-	if sigma0.N() == 0 {
-		return nil, fmt.Errorf("chain: empty starting configuration")
-	}
-	if !sigma0.Connected() {
-		return nil, fmt.Errorf("chain: starting configuration must be connected")
-	}
 	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
 		return nil, fmt.Errorf("chain: bias λ must be a positive finite number, got %v", lambda)
 	}
 	c := &Chain{
 		lambda:      lambda,
-		rng:         rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
 		degreeGuard: true,
 		prop1:       true,
 		prop2:       true,
@@ -93,18 +99,79 @@ func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*C
 	for _, o := range opts {
 		o(c)
 	}
+	c.ru = rule.CompressionVariant(lambda, c.degreeGuard, c.prop1, c.prop2)
+	if err := c.init(sigma0, seed); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewWithRule creates a chain running an arbitrary compiled rule over a
+// copy of σ0. For rule.Compression(λ) it is equivalent to New(σ0, λ, seed):
+// bit-identical trajectories. Payload rules draw the initial per-particle
+// states uniformly from the chain's own randomness, so the full trajectory
+// remains deterministic given (σ0, rule, seed).
+func NewWithRule(sigma0 *config.Config, ru *rule.Rule, seed uint64, opts ...Option) (*Chain, error) {
+	if ru == nil {
+		return nil, fmt.Errorf("chain: nil rule")
+	}
+	c := &Chain{
+		lambda:      ru.Lambda(),
+		degreeGuard: true,
+		prop1:       true,
+		prop2:       true,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	// The reference path re-derives its decisions from the unablated
+	// Property 1/2 predicates and flags, so it can stand in only for the
+	// canonical compression rule — an ablated variant (or any other rule)
+	// would silently diverge from the grid engine.
+	if c.reference && ru.Name() != rule.NameCompression {
+		return nil, fmt.Errorf("chain: the reference engine supports only the canonical compression rule, not %q", ru.Name())
+	}
+	if !c.degreeGuard || !c.prop1 || !c.prop2 {
+		return nil, fmt.Errorf("chain: ablation options apply to New, not NewWithRule (build an ablated rule instead)")
+	}
+	c.ru = ru
+	if err := c.init(sigma0, seed); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// init finishes construction once the rule is fixed.
+func (c *Chain) init(sigma0 *config.Config, seed uint64) error {
+	if sigma0.N() == 0 {
+		return fmt.Errorf("chain: empty starting configuration")
+	}
+	if !sigma0.Connected() {
+		return fmt.Errorf("chain: starting configuration must be connected")
+	}
+	c.rng = rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	c.stateless = c.ru.Stateless()
+	c.slots = c.ru.Slots()
 	c.points = sigma0.Points()
 	if c.reference {
 		c.cfg = sigma0.Clone()
 		c.edges = sigma0.Edges()
 	} else {
 		c.g = grid.New(c.points, 0)
+		if !c.stateless {
+			c.g.EnablePayload()
+			states := c.ru.States()
+			for _, p := range c.points {
+				c.g.SetPayload(p, uint8(c.rng.IntN(states)))
+			}
+		}
+		c.hval = c.ru.Energy(c.g)
 	}
 	for k := -5; k <= 5; k++ {
-		c.lamPow[k+5] = math.Pow(lambda, float64(k))
+		c.lamPow[k+5] = math.Pow(c.lambda, float64(k))
 	}
 	c.holesGone = !sigma0.HasHoles()
-	return c, nil
+	return nil
 }
 
 // MustNew is New but panics on error; convenient for examples and tests with
@@ -116,6 +183,18 @@ func MustNew(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option)
 	}
 	return c
 }
+
+// MustNewWithRule is NewWithRule but panics on error.
+func MustNewWithRule(sigma0 *config.Config, ru *rule.Rule, seed uint64, opts ...Option) *Chain {
+	c, err := NewWithRule(sigma0, ru, seed, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Rule returns the rule the chain runs.
+func (c *Chain) Rule() *rule.Rule { return c.ru }
 
 // Lambda returns the bias parameter.
 func (c *Chain) Lambda() float64 { return c.lambda }
@@ -129,12 +208,34 @@ func (c *Chain) Steps() uint64 { return c.steps }
 // Accepted returns the number of iterations that moved a particle.
 func (c *Chain) Accepted() uint64 { return c.accepted }
 
+// Rotations returns the number of accepted payload changes (zero for
+// stateless rules).
+func (c *Chain) Rotations() uint64 { return c.rotations }
+
 // Edges returns e(σ) for the current configuration, maintained incrementally.
 func (c *Chain) Edges() int {
 	if c.reference {
 		return c.edges
 	}
 	return c.g.Edges()
+}
+
+// Energy returns H(σ), the rule's Hamiltonian for the current state,
+// maintained incrementally: e(σ) for compression, the aligned-edge count for
+// alignment.
+func (c *Chain) Energy() int {
+	if c.reference {
+		return c.edges
+	}
+	return c.hval
+}
+
+// Payload returns the payload state of particle i (0 for stateless rules).
+func (c *Chain) Payload(i int) uint8 {
+	if c.reference {
+		return 0
+	}
+	return c.g.Payload(c.points[i])
 }
 
 // hasHolesNow recomputes hole presence for the current configuration.
@@ -198,43 +299,66 @@ func (c *Chain) view() *config.Config {
 	return config.FromGrid(c.g)
 }
 
-// Step executes one iteration of Markov chain M and reports whether a
-// particle moved.
+// Step executes one iteration of the Metropolis chain and reports whether
+// the state changed (a particle moved or a payload rotated).
 func (c *Chain) Step() bool {
 	c.steps++
 	i := c.rng.IntN(len(c.points))
 	l := c.points[i]
-	d := lattice.Dir(c.rng.IntN(lattice.NumDirs))
+	slot := c.rng.IntN(c.slots)
 	if c.reference {
-		return c.stepReference(i, l, d)
+		return c.stepReference(i, l, lattice.Dir(slot))
 	}
+	if slot >= lattice.NumDirs {
+		return c.stepRotate(l, slot-lattice.NumDirs)
+	}
+	d := lattice.Dir(slot)
 	lp := l.Neighbor(d)
 	if c.g.Has(lp) {
 		return false
 	}
-	// One mask extraction answers conditions (1) and (2) and both degrees.
-	cl := move.Classify(c.g.PairMask(l, d))
-	// Condition (1): the particle must have fewer than five neighbors, or a
-	// hole could form at ℓ.
-	e := cl.Degree()
-	if c.degreeGuard && e == 5 {
+	// One mask extraction answers the guard and the Hamiltonian tables.
+	m := c.g.PairMask(l, d)
+	if !c.ru.Allowed(m) {
 		return false
 	}
-	// Condition (2): Property 1 or Property 2 must hold for (ℓ, ℓ′).
-	if !((c.prop1 && cl.Property1()) || (c.prop2 && cl.Property2())) {
-		return false
+	var acc float64
+	var delta int
+	if c.stateless {
+		acc = c.ru.Accept(m)
+		delta = c.ru.MoveDelta(m, 0)
+	} else {
+		same := c.g.PairSame(l, d, m, c.g.Payload(l))
+		acc = c.ru.AcceptPay(m, same)
+		delta = c.ru.MoveDelta(m, same)
 	}
-	// Condition (3), the Metropolis filter: accept with probability
-	// min(1, λ^{e′−e}).
-	ep := cl.TargetDegree()
-	if thresh := c.lamPow[ep-e+5]; thresh < 1 {
-		if c.rng.Float64() >= thresh {
+	// The Metropolis filter: accept with probability min(1, λ^ΔH).
+	if acc < 1 {
+		if c.rng.Float64() >= acc {
 			return false
 		}
 	}
 	c.g.Move(l, lp)
 	c.points[i] = lp
+	c.hval += delta
 	c.accepted++
+	return true
+}
+
+// stepRotate proposes the j-th alternative payload state for the particle
+// at l and accepts with the Metropolis ratio on the rotation's ΔH.
+func (c *Chain) stepRotate(l lattice.Point, j int) bool {
+	s := c.g.Payload(l)
+	t := c.ru.RotTarget(s, j)
+	delta := c.ru.RotDelta(c.g.SameNeighborMask(l, s), c.g.SameNeighborMask(l, t))
+	if acc := c.ru.RotAccept(delta); acc < 1 {
+		if c.rng.Float64() >= acc {
+			return false
+		}
+	}
+	c.g.SetPayload(l, t)
+	c.hval += delta
+	c.rotations++
 	return true
 }
 

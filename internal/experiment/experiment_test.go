@@ -53,13 +53,13 @@ func TestNormalizeDefaultsAndPointOrder(t *testing.T) {
 	if len(pts) != 8 {
 		t.Fatalf("got %d points, want 8", len(pts))
 	}
-	// λ outermost, then size, then engine: the order is part of the journal
-	// format and must not drift.
+	// λ outermost, then size, then engine, with the (defaulted) rule axis
+	// innermost: the order is part of the journal format and must not drift.
 	want := []Point{
-		{2, 10, "line", EngineChain, 0}, {2, 10, "line", EngineAmoebot, 0},
-		{2, 20, "line", EngineChain, 0}, {2, 20, "line", EngineAmoebot, 0},
-		{4, 10, "line", EngineChain, 0}, {4, 10, "line", EngineAmoebot, 0},
-		{4, 20, "line", EngineChain, 0}, {4, 20, "line", EngineAmoebot, 0},
+		{2, 10, "line", EngineChain, "compression", 0}, {2, 10, "line", EngineAmoebot, "compression", 0},
+		{2, 20, "line", EngineChain, "compression", 0}, {2, 20, "line", EngineAmoebot, "compression", 0},
+		{4, 10, "line", EngineChain, "compression", 0}, {4, 10, "line", EngineAmoebot, "compression", 0},
+		{4, 20, "line", EngineChain, "compression", 0}, {4, 20, "line", EngineAmoebot, "compression", 0},
 	}
 	for i, p := range pts {
 		if p != want[i] {

@@ -212,6 +212,92 @@ func TestResumeRejectsForeignJournal(t *testing.T) {
 	}
 }
 
+// TestAlignSweepResumesByteIdentical runs the real align scenario (both
+// sequential engines over the rule axis) with a tiny budget, re-invokes the
+// identical spec against the same directory, and requires zero new tasks
+// plus byte-identical emitted results — the rule-axis acceptance criterion.
+func TestAlignSweepResumesByteIdentical(t *testing.T) {
+	spec := Spec{
+		Scenario:   "align",
+		Lambdas:    []float64{4},
+		Sizes:      []int{12},
+		Engines:    []string{EngineChain, EngineKMC},
+		Iterations: 8000,
+		Reps:       2,
+		Seed:       3,
+	}
+	dir := t.TempDir()
+	first := summariesJSON(t, spec, RunOptions{Dir: dir, Workers: 2})
+	a, err := os.ReadFile(filepath.Join(dir, ResultsJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), spec, RunOptions{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 0 || res.TasksReplayed != 4 {
+		t.Fatalf("rerun executed %d tasks, replayed %d; want 0/4", res.TasksRun, res.TasksReplayed)
+	}
+	second, err := json.Marshal(res.Summaries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("align summaries differ between run and replay")
+	}
+	b, err := os.ReadFile(filepath.Join(dir, ResultsJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("align results.jsonl differs between run and replay")
+	}
+	for _, s := range res.Summaries {
+		if s.Point.Rule != "align" {
+			t.Fatalf("point %s carries rule %q, want align", s.Point, s.Point.Rule)
+		}
+		for _, metric := range []string{"order", "energy", "rotations"} {
+			if _, ok := s.ByMetric[metric]; !ok {
+				t.Errorf("point %s missing metric %q", s.Point, metric)
+			}
+		}
+	}
+}
+
+// TestPreRuleAxisSpecStillResumes: an experiment directory journaled before
+// the rule axis existed has a spec.json without "rules"/"rule_states"; the
+// normalized Spec must still marshal identically (the compression-only axis
+// stays empty), so the directory keeps resuming instead of being rejected
+// as a spec mismatch.
+func TestPreRuleAxisSpecStillResumes(t *testing.T) {
+	spec := Spec{Scenario: "compress", Lambdas: []float64{2}, Sizes: []int{8}, Iterations: 2000, Reps: 1, Seed: 6}
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), spec, RunOptions{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// The recorded spec must not mention the rule axis at all (omitempty):
+	// that is exactly the byte layout pre-rule-axis directories hold.
+	raw, err := os.ReadFile(filepath.Join(dir, SpecFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("rules")) || bytes.Contains(raw, []byte("rule_states")) {
+		t.Fatalf("normalized compression spec mentions the rule axis:\n%s", raw)
+	}
+	// An explicit -rules compression (and a stray -states, which no payload
+	// rule in the axis consumes) collapses to the same identity.
+	spec.Rules = []string{"compression"}
+	spec.RuleStates = 3
+	res, err := Run(context.Background(), spec, RunOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 0 || res.TasksReplayed != 1 {
+		t.Fatalf("explicit compression rule did not resume the journal: run=%d replayed=%d", res.TasksRun, res.TasksReplayed)
+	}
+}
+
 func countJournalLines(t *testing.T, dir string) int {
 	t.Helper()
 	raw, err := os.ReadFile(filepath.Join(dir, JournalFile))

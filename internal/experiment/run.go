@@ -282,13 +282,13 @@ func emit(dir string, res *Result) error {
 	}
 
 	var csv strings.Builder
-	csv.WriteString("scenario,lambda,n,start,engine,crash,metric,samples,mean,stddev,ci95,min,median,max,failures\n")
+	csv.WriteString("scenario,lambda,n,start,engine,rule,crash,metric,samples,mean,stddev,ci95,min,median,max,failures\n")
 	for _, s := range res.Summaries {
 		if len(s.ByMetric) == 0 {
 			// A point whose every replication failed still gets a row, so
 			// the CSV grid and its failures column never silently shrink.
-			fmt.Fprintf(&csv, "%s,%s,%d,%s,%s,%s,,0,,,,,,,%d\n",
-				res.Spec.Scenario, ff(s.Point.Lambda), s.Point.N, s.Point.Start, s.Point.Engine, ff(s.Point.Crash),
+			fmt.Fprintf(&csv, "%s,%s,%d,%s,%s,%s,%s,,0,,,,,,,%d\n",
+				res.Spec.Scenario, ff(s.Point.Lambda), s.Point.N, s.Point.Start, s.Point.Engine, s.Point.Rule, ff(s.Point.Crash),
 				s.Failures)
 			continue
 		}
@@ -299,8 +299,8 @@ func emit(dir string, res *Result) error {
 		sort.Strings(names)
 		for _, name := range names {
 			m := s.ByMetric[name]
-			fmt.Fprintf(&csv, "%s,%s,%d,%s,%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%d\n",
-				res.Spec.Scenario, ff(s.Point.Lambda), s.Point.N, s.Point.Start, s.Point.Engine, ff(s.Point.Crash),
+			fmt.Fprintf(&csv, "%s,%s,%d,%s,%s,%s,%s,%s,%d,%s,%s,%s,%s,%s,%s,%d\n",
+				res.Spec.Scenario, ff(s.Point.Lambda), s.Point.N, s.Point.Start, s.Point.Engine, s.Point.Rule, ff(s.Point.Crash),
 				name, m.N, ff(m.Mean), ff(m.StdDev), ff(m.CI95()), ff(m.Min), ff(m.Median), ff(m.Max), s.Failures)
 		}
 	}

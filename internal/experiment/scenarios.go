@@ -6,13 +6,14 @@ import (
 	"sops/internal/baseline"
 	"sops/internal/chain"
 	"sops/internal/metrics"
+	"sops/internal/rule"
 	"sops/internal/runner"
 	"sops/internal/stats"
 )
 
 // newSequential builds the sequential engine a task's engine axis selects,
-// with the task's start shape and derived seed.
-func newSequential(t Task) (runner.Sequential, error) {
+// running the task's rule, with the task's start shape and derived seed.
+func newSequential(sp Spec, t Task) (runner.Sequential, error) {
 	if t.Point.Engine != EngineChain && t.Point.Engine != EngineKMC {
 		return nil, fmt.Errorf("scenario requires a sequential engine (%s|%s), got %q",
 			EngineChain, EngineKMC, t.Point.Engine)
@@ -21,7 +22,11 @@ func newSequential(t Task) (runner.Sequential, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runner.NewSequential(t.Point.Engine, start, t.Point.Lambda, t.Seed)
+	ru, err := rule.New(t.Point.Rule, t.Point.Lambda, ruleStatesFor(t.Point.Rule, sp.RuleStates))
+	if err != nil {
+		return nil, err
+	}
+	return runner.NewSequentialWithRule(t.Point.Engine, start, ru, t.Seed)
 }
 
 // The built-in scenarios: every workload the five pre-consolidation binaries
@@ -98,6 +103,40 @@ func init() {
 		Run:         runBaseline,
 	})
 	Register(Scenario{
+		Name:        "align",
+		Description: "alignment rule (oriented particles, Kedia–Oh–Randall): compress-style run reporting the order parameter (aligned-edge fraction)",
+		Defaults: func(s *Spec) {
+			if len(s.Rules) == 0 {
+				s.Rules = []string{runner.RuleAlignment}
+			}
+			if len(s.Engines) == 0 {
+				s.Engines = []string{EngineChain}
+			}
+		},
+		Run: runCompress,
+	})
+	Register(Scenario{
+		Name:        "align-phase",
+		Description: "alignment order parameter vs λ: the align run swept over the λ grid with a doubled iteration budget",
+		Defaults: func(s *Spec) {
+			if len(s.Rules) == 0 {
+				s.Rules = []string{runner.RuleAlignment}
+			}
+			if len(s.Lambdas) == 0 {
+				s.Lambdas = []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 5, 6}
+			}
+		},
+		Run: func(sp Spec, t Task) (Metrics, error) {
+			if sp.Iterations == 0 {
+				// Orientation consensus mixes slower than geometry; give the
+				// order parameter the same doubled budget the compression
+				// phase diagram uses.
+				sp.Iterations = 400 * uint64(t.Point.N) * uint64(t.Point.N)
+			}
+			return runCompress(sp, t)
+		},
+	})
+	Register(Scenario{
 		Name:        "mixing",
 		Description: "integrated autocorrelation time of the perimeter series (empirical proxy for §3.7 mixing)",
 		Defaults: func(s *Spec) {
@@ -120,6 +159,8 @@ func runCompress(sp Spec, t Task) (Metrics, error) {
 		Seed:          t.Seed,
 		Start:         runner.StartShape(t.Point.Start),
 		Engine:        t.Point.Engine,
+		Rule:          t.Point.Rule,
+		RuleStates:    ruleStatesFor(t.Point.Rule, sp.RuleStates),
 		CrashFraction: t.Point.Crash,
 		SnapshotEvery: sp.SnapshotEvery,
 	})
@@ -137,6 +178,20 @@ func runCompress(sp Spec, t Task) (Metrics, error) {
 	for _, s := range res.Snapshots {
 		m[fmt.Sprintf("alpha@%d", s.Iteration)] = s.Alpha
 	}
+	if t.Point.Rule != "" && t.Point.Rule != runner.RuleCompression {
+		// Payload-rule observables: H(σ) and the order parameter (the
+		// aligned fraction of induced edges for the alignment rule).
+		m["energy"] = float64(res.Energy)
+		m["rotations"] = float64(res.Rotations)
+		if res.Edges > 0 {
+			m["order"] = float64(res.Energy) / float64(res.Edges)
+		}
+		for _, s := range res.Snapshots {
+			if s.Edges > 0 {
+				m[fmt.Sprintf("order@%d", s.Iteration)] = float64(s.Energy) / float64(s.Edges)
+			}
+		}
+	}
 	if t.Point.Engine == EngineAmoebot {
 		m["rounds"] = float64(res.Rounds)
 		if t.Point.Crash > 0 {
@@ -147,8 +202,11 @@ func runCompress(sp Spec, t Task) (Metrics, error) {
 }
 
 func runScaling(sp Spec, t Task) (Metrics, error) {
+	if err := requireCompressionRule(t); err != nil {
+		return nil, err
+	}
 	n := t.Point.N
-	c, err := newSequential(t)
+	c, err := newSequential(sp, t)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +281,7 @@ func runBaseline(_ Spec, t Task) (Metrics, error) {
 
 func runMixing(sp Spec, t Task) (Metrics, error) {
 	n := t.Point.N
-	c, err := newSequential(t)
+	c, err := newSequential(sp, t)
 	if err != nil {
 		return nil, err
 	}
@@ -248,6 +306,16 @@ func runMixing(sp Spec, t Task) (Metrics, error) {
 func requireChain(t Task) error {
 	if t.Point.Engine != EngineChain {
 		return fmt.Errorf("scenario requires engine %q, got %q", EngineChain, t.Point.Engine)
+	}
+	return requireCompressionRule(t)
+}
+
+// requireCompressionRule rejects tasks asking a compression-specific
+// scenario (2·pmin targets, hole ablations, the hexagon baseline) for
+// another rule.
+func requireCompressionRule(t Task) error {
+	if t.Point.Rule != "" && t.Point.Rule != runner.RuleCompression {
+		return fmt.Errorf("scenario requires rule %q, got %q", runner.RuleCompression, t.Point.Rule)
 	}
 	return nil
 }

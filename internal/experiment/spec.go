@@ -16,6 +16,7 @@ package experiment
 import (
 	"fmt"
 
+	"sops/internal/rule"
 	"sops/internal/runner"
 )
 
@@ -53,6 +54,14 @@ type Spec struct {
 	Starts []string `json:"starts"`
 	// Engines are execution engines: chain|kmc|amoebot.
 	Engines []string `json:"engines"`
+	// Rules are local rules: compression|align. Empty means compression
+	// only — the normalized Spec keeps the axis empty in that case (and
+	// collapses an explicit ["compression"] to empty), so experiment
+	// directories journaled before the rule axis existed keep resuming.
+	Rules []string `json:"rules,omitempty"`
+	// RuleStates overrides the payload state count of rules that carry one
+	// (alignment's orientation count k); zero selects each rule's default.
+	RuleStates int `json:"rule_states,omitempty"`
 	// CrashFractions are crash-failure fractions (amoebot engine only).
 	CrashFractions []float64 `json:"crash_fractions"`
 	// Reps is the number of independent replications per sweep point
@@ -74,11 +83,15 @@ type Point struct {
 	N      int     `json:"n"`
 	Start  string  `json:"start"`
 	Engine string  `json:"engine"`
+	Rule   string  `json:"rule"`
 	Crash  float64 `json:"crash"`
 }
 
 func (p Point) String() string {
 	s := fmt.Sprintf("λ=%g n=%d %s/%s", p.Lambda, p.N, p.Start, p.Engine)
+	if p.Rule != "" && p.Rule != runner.RuleCompression {
+		s += fmt.Sprintf(" rule=%s", p.Rule)
+	}
 	if p.Crash > 0 {
 		s += fmt.Sprintf(" crash=%g", p.Crash)
 	}
@@ -147,6 +160,33 @@ func (s Spec) normalized(sc Scenario) (Spec, error) {
 			return s, fmt.Errorf("experiment: unknown engine %q (want %s|%s|%s)", e, EngineChain, EngineKMC, EngineAmoebot)
 		}
 	}
+	// The rule axis: every named rule must compile (against a harmless λ;
+	// per-task λ comes from the grid), and a compression-only axis collapses
+	// to empty so the normalized Spec — the identity resume checks — is
+	// unchanged for every pre-rule-axis experiment directory.
+	for _, rn := range s.Rules {
+		if _, err := rule.New(rn, 1, ruleStatesFor(rn, s.RuleStates)); err != nil {
+			return s, fmt.Errorf("experiment: %w", err)
+		}
+	}
+	if len(s.Rules) == 1 && s.Rules[0] == runner.RuleCompression {
+		s.Rules = nil
+	}
+	if s.RuleStates < 0 {
+		return s, fmt.Errorf("experiment: RuleStates must be non-negative, got %d", s.RuleStates)
+	}
+	// A states override only means something to a payload rule; drop it
+	// otherwise so it cannot leak into spec.json and make two behaviorally
+	// identical sweeps look like different experiments.
+	anyPayload := false
+	for _, rn := range s.Rules {
+		if ruleStatesFor(rn, s.RuleStates) != 0 {
+			anyPayload = true
+		}
+	}
+	if !anyPayload {
+		s.RuleStates = 0
+	}
 	for _, c := range s.CrashFractions {
 		if c < 0 || c >= 1 {
 			return s, fmt.Errorf("experiment: crash fraction must be in [0,1), got %v", c)
@@ -156,6 +196,16 @@ func (s Spec) normalized(sc Scenario) (Spec, error) {
 		}
 	}
 	return s, nil
+}
+
+// ruleStatesFor resolves the Spec-level RuleStates override for one named
+// rule: payload rules take it, stateless rules ignore it (the override is a
+// payload knob; handing it to compression would be an error).
+func ruleStatesFor(name string, states int) int {
+	if name == "" || name == runner.RuleCompression {
+		return 0
+	}
+	return states
 }
 
 func validStart(s string) bool {
@@ -168,16 +218,24 @@ func validStart(s string) bool {
 }
 
 // points expands the axes into the sweep grid. The order — λ outermost, then
-// size, start, engine, crash — is part of the determinism contract: point
-// indices (and hence task seeds and journal entries) depend on it.
+// size, start, engine, crash, rule — is part of the determinism contract:
+// point indices (and hence task seeds and journal entries) depend on it. The
+// rule axis is innermost so single-rule sweeps (every pre-rule-axis journal)
+// keep their point indices.
 func (s Spec) points() []Point {
-	out := make([]Point, 0, len(s.Lambdas)*len(s.Sizes)*len(s.Starts)*len(s.Engines)*len(s.CrashFractions))
+	rules := s.Rules
+	if len(rules) == 0 {
+		rules = []string{runner.RuleCompression}
+	}
+	out := make([]Point, 0, len(s.Lambdas)*len(s.Sizes)*len(s.Starts)*len(s.Engines)*len(s.CrashFractions)*len(rules))
 	for _, l := range s.Lambdas {
 		for _, n := range s.Sizes {
 			for _, st := range s.Starts {
 				for _, e := range s.Engines {
 					for _, c := range s.CrashFractions {
-						out = append(out, Point{Lambda: l, N: n, Start: st, Engine: e, Crash: c})
+						for _, r := range rules {
+							out = append(out, Point{Lambda: l, N: n, Start: st, Engine: e, Rule: r, Crash: c})
+						}
 					}
 				}
 			}

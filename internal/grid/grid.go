@@ -139,9 +139,12 @@ type Grid struct {
 	w, h       int // window size in cells
 	stride     int // words per row; a row spans stride*64 bit slots
 	words      []uint64
-	n          int // occupied cells
-	edges      int // induced edges e(σ), maintained incrementally
-	slack      int
+	// pay is the optional per-cell payload array, indexed like the bit
+	// slots (pay[bitIndex(p)]); nil until EnablePayload. See payload.go.
+	pay   []uint8
+	n     int // occupied cells
+	edges int // induced edges e(σ), maintained incrementally
+	slack int
 
 	// nbrDelta[d] is the bit-index delta to the neighbor in direction d;
 	// maskDelta[d][k] the delta to mask cell k of a move in direction d;
@@ -204,6 +207,9 @@ func (g *Grid) reshape(min, max lattice.Point) {
 	g.w, g.h = max.X-g.minX+g.slack+1, max.Y-g.minY+g.slack+1
 	g.stride = (g.w + 63) / 64
 	g.words = make([]uint64, g.stride*g.h)
+	if g.pay != nil {
+		g.pay = make([]uint8, len(g.words)<<6)
+	}
 	g.arcScratch = nil
 	sb := g.stride << 6
 	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
@@ -234,10 +240,20 @@ func (g *Grid) grow(p lattice.Point) {
 	if span := max.X - min.X + max.Y - min.Y; g.slack < span/4 {
 		g.slack = span / 4
 	}
+	var vals []uint8
+	if g.pay != nil {
+		vals = make([]uint8, len(pts))
+		for i, q := range pts {
+			vals[i] = g.pay[g.bitIndex(q)]
+		}
+	}
 	n, edges := g.n, g.edges
 	g.reshape(min, max)
-	for _, q := range pts {
+	for i, q := range pts {
 		g.setBit(g.bitIndex(q))
+		if vals != nil {
+			g.pay[g.bitIndex(q)] = vals[i]
+		}
 	}
 	g.n, g.edges = n, edges
 }
@@ -304,7 +320,11 @@ func (g *Grid) Remove(p lattice.Point) bool {
 		return false
 	}
 	g.edges -= g.Degree(p)
-	g.clearBit(g.bitIndex(p))
+	idx := g.bitIndex(p)
+	g.clearBit(idx)
+	if g.pay != nil {
+		g.pay[idx] = 0
+	}
 	g.n--
 	return true
 }
@@ -323,9 +343,14 @@ func (g *Grid) Move(src, dst lattice.Point) {
 		g.grow(dst)
 	}
 	g.edges -= g.Degree(src)
-	g.clearBit(g.bitIndex(src))
+	si := g.bitIndex(src)
+	g.clearBit(si)
 	g.edges += g.Degree(dst)
-	g.setBit(g.bitIndex(dst))
+	di := g.bitIndex(dst)
+	g.setBit(di)
+	if g.pay != nil {
+		g.pay[di], g.pay[si] = g.pay[si], 0
+	}
 }
 
 // Degree returns the number of occupied neighbors of p. The point p itself
@@ -644,6 +669,9 @@ func (g *Grid) Bounds() (min, max lattice.Point) {
 func (g *Grid) Clone() *Grid {
 	out := *g
 	out.words = append([]uint64(nil), g.words...)
+	if g.pay != nil {
+		out.pay = append([]uint8(nil), g.pay...)
+	}
 	out.arcScratch = nil
 	return &out
 }

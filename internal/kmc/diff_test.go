@@ -65,9 +65,10 @@ func TestDistributionMatchesMetropolis(t *testing.T) {
 	}
 }
 
-// sampler accumulates triples (perimeter, edges, moves) across replicas.
+// sampler accumulates up to four metric series (perimeter, edges, moves,
+// and — for the alignment differential — energy) across replicas.
 type sampler struct {
-	xs [3][]float64
+	xs [4][]float64
 }
 
 func (s *sampler) add(vals ...float64) {

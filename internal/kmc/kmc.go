@@ -1,32 +1,37 @@
 // Package kmc implements a rejection-free (kinetic Monte Carlo, BKL-style)
-// formulation of the compression Markov chain M. The Metropolis chain in
-// internal/chain spends most proposals on moves that are rejected — the
-// uniformly chosen (particle, direction) pair is usually invalid under
-// Property 1/2, and at compressing bias λ > 2+√2 the Metropolis filter
+// formulation of the sequential Metropolis engine for local stochastic
+// rules, canonically the compression Markov chain M. The Metropolis chain
+// in internal/chain spends most proposals on moves that are rejected — the
+// uniformly chosen (particle, slot) pair is usually invalid under the
+// rule's guard, and at compressing bias λ > 2+√2 the Metropolis filter
 // rejects most of the rest — so its wall-clock is dominated by work that
 // never changes the configuration. This engine instead maintains the total
 // acceptance weight of every particle,
 //
-//	W_i = Σ_d  valid(i, d) · min(1, λ^{e′−e}),
+//	W_i = Σ_slot  valid(i, slot) · min(1, λ^{ΔH}),
 //
-// in a Fenwick sum-tree, samples the next applied move directly with
-// probability proportional to its weight, and advances the step counter by a
-// geometrically distributed hold time — the number of Metropolis iterations
-// the chain would have idled at the current state. The resulting process is
-// equal in distribution to chain M observed at the same step counts (the
-// hold time K ~ Geometric(W/6n) is exactly the Metropolis waiting time, and
-// geometric memorylessness makes carrying a partial hold across Run calls
-// exact), so stationary measurements, 200·n² stopping rules, and statistics
-// transfer unchanged; only the trajectory's random-number consumption
-// differs.
+// summed over the six translation slots plus, for rules with payload
+// rotations, one slot per alternative state — in a Fenwick sum-tree,
+// samples the next applied event directly with probability proportional to
+// its weight, and advances the step counter by a geometrically distributed
+// hold time — the number of Metropolis iterations the chain would have
+// idled at the current state. The resulting process is equal in
+// distribution to the Metropolis chain observed at the same step counts
+// (the hold time K ~ Geometric(W/(S·n)) with S = slots per particle is
+// exactly the Metropolis waiting time, and geometric memorylessness makes
+// carrying a partial hold across Run calls exact), so stationary
+// measurements, 200·n² stopping rules, and statistics transfer unchanged;
+// only the trajectory's random-number consumption differs.
 //
-// After each applied move (ℓ → ℓ′) only the particles whose neighborhood
-// masks can see ℓ or ℓ′ — the dirty neighborhood enumerated by
-// grid.OccupiedNearPair, a constant-size set — are re-classified, so an
-// event costs O(log n) for the weighted sampling plus O(1) reweighting.
-// Per-slot weights come from a 256-entry table indexed by the same
-// grid.PairMask / move.Classify machinery the Metropolis engine uses: the
-// two engines cannot disagree on the move set by construction.
+// After each applied translation (ℓ → ℓ′) only the particles whose
+// neighborhood masks can see ℓ or ℓ′ — the dirty neighborhood enumerated by
+// grid.OccupiedNearPair / grid.DirtyWindows, a constant-size set — are
+// re-classified; a payload rotation dirties only the rotating cell's own
+// radius-2 neighborhood (grid.OccupiedNearCell). An event therefore costs
+// O(log n) for the weighted sampling plus O(1) reweighting. Per-slot
+// weights come from the same compiled rule tables the Metropolis engine
+// uses: the two engines cannot disagree on the move set by construction,
+// and rule.Compression(λ) reproduces the pre-rule engine bit for bit.
 package kmc
 
 import (
@@ -38,7 +43,7 @@ import (
 	"sops/internal/config"
 	"sops/internal/grid"
 	"sops/internal/lattice"
-	"sops/internal/move"
+	"sops/internal/rule"
 )
 
 // rebuildEvery bounds floating-point drift: after this many applied events
@@ -58,23 +63,28 @@ func WithoutProperty1() Option { return func(c *Chain) { c.prop1 = false } }
 // WithoutProperty2 disables Property 2 moves; ablation only.
 func WithoutProperty2() Option { return func(c *Chain) { c.prop2 = false } }
 
-// Chain is a running rejection-free instance of Markov chain M. It is not
+// Chain is a running rejection-free instance of a local rule. It is not
 // safe for concurrent use; run independent chains in separate goroutines.
 type Chain struct {
 	g      *grid.Grid
 	points []lattice.Point
 	idx    *pindex
+	ru     *rule.Rule
 	lambda float64
-	// wTab[m] is the full per-slot weight of a move with neighborhood mask
-	// m: 0 when the move is invalid under the enabled conditions, otherwise
-	// the Metropolis acceptance min(1, λ^{e′−e}). One table serves all six
-	// directions because masks are canonical in the move direction.
+	// stateless and slots cache rule shape queries off the hot path.
+	stateless bool
+	slots     int
+	// wTab[m] is the stateless fast-path slot-weight table copied from the
+	// rule: 0 when the move is invalid under the rule's guard, otherwise
+	// the Metropolis acceptance min(1, λ^{ΔH}). One table serves all six
+	// directions because masks are canonical in the move direction. Payload
+	// rules price slots through the rule's payload tables instead.
 	wTab [256]float64
 	rng  *rand.Rand
 
 	fen *fenwick
 	// wj[i] is the authoritative total weight of particle i, always the
-	// exact recomputation over its six slots; the Fenwick tree mirrors it up
+	// exact recomputation over its slots; the Fenwick tree mirrors it up
 	// to floating-point drift.
 	wj []float64
 
@@ -82,33 +92,36 @@ type Chain struct {
 	prop1, prop2 bool
 
 	steps  uint64 // Metropolis-equivalent iterations, including holds
-	events uint64 // applied moves
+	events uint64 // applied events (translations + rotations)
+	moves  uint64 // applied translations
+	rots   uint64 // applied rotations
+	hval   int    // H(σ), maintained incrementally
 	// hold is the number of equivalent steps remaining until the next
 	// sampled event fires; 0 means the next hold has not been sampled yet.
 	hold               uint64
 	holesGone          bool
 	eventsSinceRebuild int
 	dirtyBuf           []grid.CellWindow
+	dirtyPts           []lattice.Point
+	// slotBuf holds the fired particle's slot weights during event
+	// sampling; payBuf is particleWeightPay's scratch, kept separate so
+	// the dirty-reprice loop cannot clobber the sampler's view.
+	slotBuf []float64
+	payBuf  []float64
 }
 
-// New creates a rejection-free chain over a copy of the starting
-// configuration σ0, which must be non-empty and connected, with bias
-// parameter λ > 0. The chain is deterministic given (σ0, λ, seed); its
-// trajectories are not step-for-step comparable to internal/chain (the two
-// consume randomness differently) but agree in distribution.
+// New creates a rejection-free compression chain (possibly ablated via
+// options) over a copy of the starting configuration σ0, which must be
+// non-empty and connected, with bias parameter λ > 0. The chain is
+// deterministic given (σ0, λ, seed); its trajectories are not
+// step-for-step comparable to internal/chain (the two consume randomness
+// differently) but agree in distribution.
 func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*Chain, error) {
-	if sigma0.N() == 0 {
-		return nil, fmt.Errorf("kmc: empty starting configuration")
-	}
-	if !sigma0.Connected() {
-		return nil, fmt.Errorf("kmc: starting configuration must be connected")
-	}
 	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
 		return nil, fmt.Errorf("kmc: bias λ must be a positive finite number, got %v", lambda)
 	}
 	c := &Chain{
 		lambda:      lambda,
-		rng:         rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
 		degreeGuard: true,
 		prop1:       true,
 		prop2:       true,
@@ -116,9 +129,58 @@ func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*C
 	for _, o := range opts {
 		o(c)
 	}
+	c.ru = rule.CompressionVariant(lambda, c.degreeGuard, c.prop1, c.prop2)
+	if err := c.init(sigma0, seed); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewWithRule creates a rejection-free chain running an arbitrary compiled
+// rule. Payload rules draw the initial per-particle states uniformly from
+// the chain's own randomness (matching chain.NewWithRule's construction),
+// so the trajectory is deterministic given (σ0, rule, seed).
+func NewWithRule(sigma0 *config.Config, ru *rule.Rule, seed uint64) (*Chain, error) {
+	if ru == nil {
+		return nil, fmt.Errorf("kmc: nil rule")
+	}
+	c := &Chain{
+		lambda:      ru.Lambda(),
+		ru:          ru,
+		degreeGuard: true,
+		prop1:       true,
+		prop2:       true,
+	}
+	if err := c.init(sigma0, seed); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// init finishes construction once the rule is fixed.
+func (c *Chain) init(sigma0 *config.Config, seed uint64) error {
+	if sigma0.N() == 0 {
+		return fmt.Errorf("kmc: empty starting configuration")
+	}
+	if !sigma0.Connected() {
+		return fmt.Errorf("kmc: starting configuration must be connected")
+	}
+	c.rng = rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	c.stateless = c.ru.Stateless()
+	c.slots = c.ru.Slots()
 	c.points = sigma0.Points()
 	c.g = grid.New(c.points, 0)
-	c.buildWeightTable()
+	if !c.stateless {
+		c.g.EnablePayload()
+		states := c.ru.States()
+		for _, p := range c.points {
+			c.g.SetPayload(p, uint8(c.rng.IntN(states)))
+		}
+		c.slotBuf = make([]float64, c.slots)
+		c.payBuf = make([]float64, c.slots)
+	}
+	c.wTab = c.ru.WeightTable()
+	c.hval = c.ru.Energy(c.g)
 	c.idx = newPindex(c.points)
 	c.wj = make([]float64, len(c.points))
 	c.fen = newFenwick(len(c.points))
@@ -127,7 +189,7 @@ func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*C
 	}
 	c.fen.rebuild(c.wj)
 	c.holesGone = !sigma0.HasHoles()
-	return c, nil
+	return nil
 }
 
 // MustNew is New but panics on error.
@@ -139,42 +201,33 @@ func MustNew(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option)
 	return c
 }
 
-// buildWeightTable derives the per-mask slot weights from the Classify table
-// and the enabled move conditions. λ^k for the feasible exponents k ∈ [−5, 5]
-// is precomputed and capped at 1 (the Metropolis acceptance).
-func (c *Chain) buildWeightTable() {
-	var lamPow [11]float64
-	for k := -5; k <= 5; k++ {
-		lamPow[k+5] = math.Min(1, math.Pow(c.lambda, float64(k)))
+// MustNewWithRule is NewWithRule but panics on error.
+func MustNewWithRule(sigma0 *config.Config, ru *rule.Rule, seed uint64) *Chain {
+	c, err := NewWithRule(sigma0, ru, seed)
+	if err != nil {
+		panic(err)
 	}
-	for m := 0; m < 256; m++ {
-		cl := move.Classify(grid.Mask(m))
-		e := cl.Degree()
-		if c.degreeGuard && e == 5 {
-			continue
-		}
-		if !((c.prop1 && cl.Property1()) || (c.prop2 && cl.Property2())) {
-			continue
-		}
-		c.wTab[m] = lamPow[cl.TargetDegree()-e+5]
-	}
+	return c
 }
 
 // particleWeight recomputes the total acceptance weight of the particle at
-// p: the sum over its six directions of the slot weight, zero for directions
-// whose target is occupied. One Window extraction serves all six
-// directions, and fully surrounded particles (the common case inside a
-// compressed cluster) return without assembling any mask. The summation
-// order is fixed, so equal configurations always produce bit-identical
-// weights.
+// p: the sum over its slots of the slot weight. For stateless rules one
+// Window extraction serves all six directions, and fully surrounded
+// particles (the common case inside a compressed cluster) return without
+// assembling any mask. The summation order is fixed (directions ascending,
+// then rotation targets ascending), so equal configurations always produce
+// bit-identical weights.
 func (c *Chain) particleWeight(p lattice.Point) float64 {
-	return c.weightFromWindow(c.g.Window(p))
+	if c.stateless {
+		return c.weightFromWindow(c.g.Window(p))
+	}
+	return c.particleWeightPay(p)
 }
 
-// weightFromWindow computes the particle's total weight from its extracted
-// 5×5 window: two packed-table loads, then one weight-table lookup per
-// unoccupied direction, summed in direction order (the order fixes the
-// floating-point fold, keeping weights bit-reproducible).
+// weightFromWindow computes a stateless particle's total weight from its
+// extracted 5×5 window: two packed-table loads, then one weight-table
+// lookup per unoccupied direction, summed in direction order (the order
+// fixes the floating-point fold, keeping weights bit-reproducible).
 func (c *Chain) weightFromWindow(win grid.Window) float64 {
 	pm := win.Packed()
 	empty := ^pm.NeighborMask() & (1<<lattice.NumDirs - 1)
@@ -186,6 +239,49 @@ func (c *Chain) weightFromWindow(win grid.Window) float64 {
 	return sum
 }
 
+// priceSlots fills ws (length Slots) with the payload particle's per-slot
+// weights in the canonical order — translation directions ascending, then
+// rotation targets ascending skipping the current state s — and returns
+// their sum. Every payload-path consumer (the maintained wj, the event
+// sampler, the observer APIs) goes through this one fold, so the "slot sum
+// equals wj[i]" invariant the sampler relies on holds bit-for-bit.
+func (c *Chain) priceSlots(p lattice.Point, s uint8, ws []float64) float64 {
+	var sum float64
+	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+		w := 0.0
+		if !c.g.Has(p.Neighbor(d)) {
+			if m := c.g.PairMask(p, d); c.ru.Allowed(m) {
+				w = c.ru.WeightPay(m, c.g.PairSame(p, d, m, s))
+			}
+		}
+		ws[d] = w
+		sum += w
+	}
+	if c.ru.Rotates() {
+		sameOld := c.g.SameNeighborMask(p, s)
+		j := lattice.NumDirs
+		for t := 0; t < c.ru.States(); t++ {
+			if uint8(t) == s {
+				continue
+			}
+			w := c.ru.RotWeight(c.ru.RotDelta(sameOld, c.g.SameNeighborMask(p, uint8(t))))
+			ws[j] = w
+			sum += w
+			j++
+		}
+	}
+	return sum
+}
+
+// particleWeightPay prices a payload particle's slots through priceSlots
+// into a scratch buffer distinct from the event sampler's.
+func (c *Chain) particleWeightPay(p lattice.Point) float64 {
+	return c.priceSlots(p, c.g.Payload(p), c.payBuf)
+}
+
+// Rule returns the rule the chain runs.
+func (c *Chain) Rule() *rule.Rule { return c.ru }
+
 // Lambda returns the bias parameter.
 func (c *Chain) Lambda() float64 { return c.lambda }
 
@@ -196,36 +292,68 @@ func (c *Chain) N() int { return len(c.points) }
 // holds included: directly comparable to chain.Chain.Steps.
 func (c *Chain) Steps() uint64 { return c.steps }
 
-// Events returns the number of applied moves (kMC events).
+// Events returns the number of applied events (translations + rotations).
 func (c *Chain) Events() uint64 { return c.events }
 
-// Accepted returns the number of applied moves; every event is an accepted
-// move, so this equals Events. The name matches chain.Chain.
-func (c *Chain) Accepted() uint64 { return c.events }
+// Accepted returns the number of applied translations, matching
+// chain.Chain.Accepted. For stateless rules every event is a translation,
+// so this equals Events.
+func (c *Chain) Accepted() uint64 { return c.moves }
+
+// Rotations returns the number of applied payload changes (zero for
+// stateless rules).
+func (c *Chain) Rotations() uint64 { return c.rots }
 
 // Edges returns e(σ) for the current configuration.
 func (c *Chain) Edges() int { return c.g.Edges() }
 
+// Energy returns H(σ), the rule's Hamiltonian for the current state,
+// maintained incrementally.
+func (c *Chain) Energy() int { return c.hval }
+
 // TotalWeight returns W(σ) = Σ_i W_i, the summed acceptance weight of every
-// currently valid move. W/(6n) is the per-step probability that the
+// currently valid move. W/(Slots·n) is the per-step probability that the
 // Metropolis chain would leave the current state.
 func (c *Chain) TotalWeight() float64 { return c.fen.total() }
 
 // ParticleWeight returns the maintained total weight of particle i.
 func (c *Chain) ParticleWeight(i int) float64 { return c.wj[i] }
 
-// SlotWeights recomputes the six per-direction weights of particle i. Their
-// sum equals ParticleWeight(i).
+// SlotWeights recomputes the six per-direction translation weights of
+// particle i. Together with RotationWeights their sum equals
+// ParticleWeight(i).
 func (c *Chain) SlotWeights(i int) [lattice.NumDirs]float64 {
 	var ws [lattice.NumDirs]float64
 	p := c.points[i]
-	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
-		if !c.g.Has(p.Neighbor(d)) {
-			ws[d] = c.wTab[c.g.PairMask(p, d)]
+	if c.stateless {
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			if !c.g.Has(p.Neighbor(d)) {
+				ws[d] = c.wTab[c.g.PairMask(p, d)]
+			}
 		}
+		return ws
 	}
+	buf := make([]float64, c.slots)
+	c.priceSlots(p, c.g.Payload(p), buf)
+	copy(ws[:], buf[:lattice.NumDirs])
 	return ws
 }
+
+// RotationWeights recomputes the rotation slot weights of particle i, in
+// rotation-slot order (target states ascending, skipping the current
+// state). It returns nil for rules without rotations.
+func (c *Chain) RotationWeights(i int) []float64 {
+	if !c.ru.Rotates() {
+		return nil
+	}
+	p := c.points[i]
+	buf := make([]float64, c.slots)
+	c.priceSlots(p, c.g.Payload(p), buf)
+	return buf[lattice.NumDirs:]
+}
+
+// Payload returns the payload state of particle i (0 for stateless rules).
+func (c *Chain) Payload(i int) uint8 { return c.g.Payload(c.points[i]) }
 
 // Points returns the current particle locations; index i is the particle
 // whose weights ParticleWeight(i) and SlotWeights(i) report.
@@ -262,12 +390,12 @@ func (c *Chain) HoleFree() bool {
 func (c *Chain) Config() *config.Config { return config.FromGrid(c.g) }
 
 // sampleHold draws the geometric number of Metropolis-equivalent steps until
-// the next event fires, K ~ Geometric(p) with p = W/(6n) and support {1, 2,
+// the next event fires, K ~ Geometric(p) with p = W/(S·n) and support {1, 2,
 // …} — exactly the Metropolis chain's waiting time at the current state.
 // With no valid moves the state is absorbing and the hold is effectively
 // infinite.
 func (c *Chain) sampleHold() {
-	p := c.fen.total() / float64(6*len(c.points))
+	p := c.fen.total() / float64(c.slots*len(c.points))
 	if p <= 0 {
 		c.hold = math.MaxUint64
 		return
@@ -284,11 +412,11 @@ func (c *Chain) sampleHold() {
 	c.hold = 1 + uint64(k)
 }
 
-// fireEvent samples the next applied move proportionally to its acceptance
+// fireEvent samples the next applied event proportionally to its acceptance
 // weight, applies it, and re-classifies the dirty neighborhood. It reports
-// whether a move was applied; false means floating-point drift had left the
-// tree claiming weight where there is none, in which case the tree has been
-// rebuilt exactly and the caller should resample the hold.
+// whether an event was applied; false means floating-point drift had left
+// the tree claiming weight where there is none, in which case the tree has
+// been rebuilt exactly and the caller should resample the hold.
 func (c *Chain) fireEvent() bool {
 	W := c.fen.total()
 	i := c.fen.find(c.rng.Float64() * W)
@@ -305,6 +433,24 @@ func (c *Chain) fireEvent() bool {
 			return false
 		}
 	}
+
+	if c.stateless {
+		c.fireTranslation(i)
+	} else {
+		c.fireSlot(i)
+	}
+
+	if c.eventsSinceRebuild++; c.eventsSinceRebuild >= rebuildEvery {
+		c.fen.rebuild(c.wj)
+		c.eventsSinceRebuild = 0
+	}
+	return true
+}
+
+// fireTranslation is the stateless fast path: direction ∝ slot weight from
+// the packed window, then apply and re-classify via the fused DirtyWindows
+// sweep.
+func (c *Chain) fireTranslation(i int) {
 	l := c.points[i]
 
 	// Direction ∝ slot weight, from freshly recomputed slots (their sum is
@@ -336,12 +482,14 @@ func (c *Chain) fireEvent() bool {
 		}
 	}
 
+	c.hval += c.ru.MoveDelta(pm.PairMask(d), 0)
 	lp := l.Neighbor(d)
 	c.g.Move(l, lp)
 	c.points[i] = lp
 	c.idx.clear(l)
 	c.idx.set(lp, int32(i), c.points)
 	c.events++
+	c.moves++
 
 	// Re-classify the dirty neighborhood: every occupied cell whose masks
 	// can see ℓ or ℓ′, including the moved particle itself. DirtyWindows
@@ -355,16 +503,74 @@ func (c *Chain) fireEvent() bool {
 			c.wj[j] = w
 		}
 	}
+}
 
-	if c.eventsSinceRebuild++; c.eventsSinceRebuild >= rebuildEvery {
-		c.fen.rebuild(c.wj)
-		c.eventsSinceRebuild = 0
+// fireSlot is the payload-rule event path: the slot (translation direction
+// or rotation target) is drawn ∝ its weight, applied, and the appropriate
+// dirty neighborhood re-priced through the payload tables.
+func (c *Chain) fireSlot(i int) {
+	l := c.points[i]
+	s := c.g.Payload(l)
+
+	// Recompute every slot weight through the canonical fold: their sum is
+	// the authoritative wj[i] by construction.
+	ws := c.slotBuf
+	sum := c.priceSlots(l, s, ws)
+
+	v := c.rng.Float64() * sum
+	slot := len(ws) - 1
+	for k := 0; k < len(ws); k++ {
+		if v -= ws[k]; v < 0 {
+			slot = k
+			break
+		}
 	}
-	return true
+	if ws[slot] == 0 {
+		// v fell off the end through drift; take the last nonzero slot.
+		for k := len(ws) - 1; k >= 0; k-- {
+			if ws[k] > 0 {
+				slot = k
+				break
+			}
+		}
+	}
+
+	if slot < lattice.NumDirs {
+		d := lattice.Dir(slot)
+		m := c.g.PairMask(l, d)
+		c.hval += c.ru.MoveDelta(m, c.g.PairSame(l, d, m, s))
+		lp := l.Neighbor(d)
+		c.g.Move(l, lp)
+		c.points[i] = lp
+		c.idx.clear(l)
+		c.idx.set(lp, int32(i), c.points)
+		c.events++
+		c.moves++
+		c.dirtyPts = c.g.OccupiedNearPair(l, d, c.dirtyPts[:0])
+	} else {
+		// Rotation: the j-th alternative state in ascending order.
+		t := c.ru.RotTarget(s, slot-lattice.NumDirs)
+		c.hval += c.ru.RotDelta(c.g.SameNeighborMask(l, s), c.g.SameNeighborMask(l, t))
+		c.g.SetPayload(l, t)
+		c.events++
+		c.rots++
+		// A payload change dirties only the rotating cell's radius-2
+		// neighborhood, itself included.
+		c.dirtyPts = c.g.OccupiedNearCell(l, c.dirtyPts[:0])
+	}
+
+	for _, p := range c.dirtyPts {
+		j := c.idx.at(p)
+		w := c.particleWeightPay(p)
+		if w != c.wj[j] {
+			c.fen.add(int(j), w-c.wj[j])
+			c.wj[j] = w
+		}
+	}
 }
 
 // Run advances the chain by exactly n Metropolis-equivalent iterations and
-// returns the number of moves applied. Partial holds carry across calls
+// returns the number of events applied. Partial holds carry across calls
 // (geometric memorylessness makes that exact).
 func (c *Chain) Run(n uint64) uint64 {
 	var fired uint64

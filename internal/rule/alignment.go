@@ -1,0 +1,71 @@
+package rule
+
+import (
+	"fmt"
+
+	"sops/internal/grid"
+	"sops/internal/move"
+)
+
+// DefaultAlignmentStates is the default orientation count k: the six
+// directions of the triangular lattice, matching the oriented particles of
+// the alignment model.
+const DefaultAlignmentStates = 6
+
+// Alignment returns the oriented-particle alignment rule (Kedia–Oh–Randall,
+// Local Stochastic Algorithms for Alignment in Self-Organizing Particle
+// Systems, 2022): every particle carries an orientation spin in {0, …, k−1},
+// the Hamiltonian H(σ) counts the aligned edges (induced edges whose
+// endpoints share a spin), and the stationary distribution is π(σ) ∝
+// λ^{H(σ)}. Moves are the compression translations (same structural guard,
+// so connectivity and hole-freeness are preserved exactly as in chain M)
+// plus rotations: a particle proposing a new spin, accepted with the
+// Metropolis ratio on the aligned-edge change. λ > 1 rewards agreeing
+// neighbors, driving both clustering and orientation consensus; λ < 1
+// favors discord.
+func Alignment(lambda float64, states int) (*Rule, error) {
+	if states == 0 {
+		states = DefaultAlignmentStates
+	}
+	if states < 2 {
+		return nil, fmt.Errorf("rule: alignment needs at least 2 orientation states, got %d", states)
+	}
+	return Compile(alignmentDef(states), lambda)
+}
+
+// MustAlignment is Alignment but panics on error.
+func MustAlignment(lambda float64, states int) *Rule {
+	r, err := Alignment(lambda, states)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func alignmentDef(states int) Def {
+	return Def{
+		Name:    NameAlignment,
+		States:  states,
+		Rotates: true,
+		// The structural guard is chain M's: degree ≠ 5 and Property 1 or 2.
+		// Alignment changes what moves are worth, not which are safe.
+		Guard: func(m grid.Mask) bool { return move.Classify(m).Valid() },
+		// A translation carries the spin along: ΔH = (aligned neighbors at
+		// ℓ′) − (aligned neighbors at ℓ), read off the same-spin submask.
+		PayDelta: func(same grid.Mask) int {
+			return popcount8(same&grid.MaskNearLp) - popcount8(same&grid.MaskNearL)
+		},
+		// A rotation's site potential is the number of neighbors sharing
+		// the state.
+		RotPot: func(same uint8) int { return popcount8(grid.Mask(same)) },
+		// H(σ) = number of aligned edges.
+		Energy: func(g *grid.Grid) int {
+			return EdgeEnergy(g, func(su, sv uint8) int {
+				if su == sv {
+					return 1
+				}
+				return 0
+			})
+		},
+	}
+}

@@ -1,0 +1,39 @@
+package rule
+
+import (
+	"testing"
+
+	"sops/internal/grid"
+)
+
+// BenchmarkRuleClassify measures the per-slot cost of rule-table dispatch:
+// the guard + acceptance + weight lookups an engine makes to price one
+// proposal, cycling through all 256 pair masks for both the stateless
+// compression fast path and the payload alignment path. This is the
+// table-indirection layer sitting inside the ~25 ns Metropolis step, so it
+// is benchgate-guarded in CI against silent regression.
+func BenchmarkRuleClassify(b *testing.B) {
+	b.Run("compression", func(b *testing.B) {
+		r := Compression(4)
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			m := grid.Mask(i)
+			if r.Allowed(m) {
+				sink += r.Accept(m) + r.Weight(m)
+			}
+		}
+		_ = sink
+	})
+	b.Run("align", func(b *testing.B) {
+		r := MustAlignment(4, 6)
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			m := grid.Mask(i)
+			same := m & grid.Mask(i>>8)
+			if r.Allowed(m) {
+				sink += r.AcceptPay(m, same) + r.WeightPay(m, same)
+			}
+		}
+		_ = sink
+	})
+}

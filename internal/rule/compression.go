@@ -1,0 +1,48 @@
+package rule
+
+import (
+	"sops/internal/grid"
+	"sops/internal/move"
+)
+
+// Compression returns the canonical compression rule of the paper: guard =
+// chain M step 6 conditions (1) and (2) (degree ≠ 5, Property 1 or 2),
+// Hamiltonian H(σ) = e(σ) the induced edge count, bias λ^{e(σ)}. It is
+// compiled from the same move.Classify table the pre-rule engines indexed,
+// so a chain or kMC engine running it produces bit-identical trajectories
+// to the hard-coded implementation for a fixed (σ0, λ, seed).
+func Compression(lambda float64) *Rule {
+	return MustCompile(compressionDef(NameCompression, true, true, true), lambda)
+}
+
+// CompressionVariant returns the compression rule with individual guard
+// conditions ablated: the degree guard (condition 1), Property 1, or
+// Property 2 moves. The unablated variant is Compression; the ablations
+// exist for the Lemma 3.2 / Fig 3 experiments and must never be used for
+// production runs (they can disconnect the system or form holes).
+func CompressionVariant(lambda float64, degreeGuard, prop1, prop2 bool) *Rule {
+	name := NameCompression
+	if !degreeGuard || !prop1 || !prop2 {
+		name += "(ablated)"
+	}
+	return MustCompile(compressionDef(name, degreeGuard, prop1, prop2), lambda)
+}
+
+func compressionDef(name string, degreeGuard, prop1, prop2 bool) Def {
+	return Def{
+		Name: name,
+		Guard: func(m grid.Mask) bool {
+			cl := move.Classify(m)
+			if degreeGuard && cl.Degree() == 5 {
+				return false
+			}
+			return (prop1 && cl.Property1()) || (prop2 && cl.Property2())
+		},
+		// ΔH = e′ − e: the mover's neighbor-count change, read off the two
+		// halves of the pair mask.
+		OccDelta: func(m grid.Mask) int {
+			return popcount8(m&grid.MaskNearLp) - popcount8(m&grid.MaskNearL)
+		},
+		Energy: func(g *grid.Grid) int { return g.Edges() },
+	}
+}

@@ -1,0 +1,34 @@
+package rule
+
+import "fmt"
+
+// Registry names of the built-in rules, the values of the CLI -rule flag
+// and the experiment rule axis.
+const (
+	// NameCompression is the paper's chain M: H(σ) = e(σ).
+	NameCompression = "compression"
+	// NameAlignment is the oriented-particle alignment chain:
+	// H(σ) = aligned edges, k orientation states, rotation moves.
+	NameAlignment = "align"
+)
+
+// Names lists the built-in rule names.
+func Names() []string { return []string{NameCompression, NameAlignment} }
+
+// New constructs a built-in rule by name. The empty name selects
+// compression. states parameterizes rules with a payload (0 selects the
+// rule's default); stateless rules reject a states override.
+func New(name string, lambda float64, states int) (*Rule, error) {
+	switch name {
+	case "", NameCompression:
+		if states > 1 {
+			return nil, fmt.Errorf("rule: compression carries no payload states (got states=%d)", states)
+		}
+		// Validate λ through Compile rather than panicking in Compression.
+		return Compile(compressionDef(NameCompression, true, true, true), lambda)
+	case NameAlignment:
+		return Alignment(lambda, states)
+	default:
+		return nil, fmt.Errorf("rule: unknown rule %q (have %v)", name, Names())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sops/internal/kmc"
 	"sops/internal/lattice"
 	"sops/internal/metrics"
+	"sops/internal/rule"
 	"sops/internal/viz"
 )
 
@@ -33,6 +34,21 @@ const (
 // Engines lists every execution engine.
 func Engines() []string { return []string{EngineChain, EngineKMC, EngineAmoebot} }
 
+// Rule names for Options.Rule and the experiment rule axis. Every engine
+// runs every rule: the rule decides which local moves are admissible and
+// how the Metropolis filter prices them, the engine decides how the
+// resulting process is simulated.
+const (
+	// RuleCompression is the paper's chain M (H(σ) = e(σ)); the default.
+	RuleCompression = rule.NameCompression
+	// RuleAlignment is the oriented-particle alignment chain
+	// (H(σ) = aligned edges, orientation payloads, rotation moves).
+	RuleAlignment = rule.NameAlignment
+)
+
+// Rules lists every built-in rule name.
+func Rules() []string { return rule.Names() }
+
 // Sequential is the interface shared by the sequential chain engines:
 // *chain.Chain (Metropolis on the bit-packed grid) and *kmc.Chain
 // (rejection-free). Steps and Run both count Metropolis-equivalent
@@ -42,8 +58,10 @@ type Sequential interface {
 	RunUntil(max, interval uint64, check func() bool) uint64
 	Steps() uint64
 	Accepted() uint64
+	Rotations() uint64
 	Perimeter() int
 	Edges() int
+	Energy() int
 	HoleFree() bool
 	Config() *config.Config
 	N() int
@@ -55,13 +73,24 @@ var (
 	_ Sequential = (*kmc.Chain)(nil)
 )
 
-// NewSequential constructs the named sequential engine over a copy of σ0.
+// NewSequential constructs the named sequential engine over a copy of σ0,
+// running the default compression rule.
 func NewSequential(engine string, sigma0 *config.Config, lambda float64, seed uint64) (Sequential, error) {
+	ru, err := rule.New(rule.NameCompression, lambda, 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewSequentialWithRule(engine, sigma0, ru, seed)
+}
+
+// NewSequentialWithRule constructs the named sequential engine over a copy
+// of σ0, running an arbitrary compiled rule.
+func NewSequentialWithRule(engine string, sigma0 *config.Config, ru *rule.Rule, seed uint64) (Sequential, error) {
 	switch engine {
 	case EngineChain, "":
-		return chain.New(sigma0, lambda, seed)
+		return chain.NewWithRule(sigma0, ru, seed)
 	case EngineKMC:
-		return kmc.New(sigma0, lambda, seed)
+		return kmc.NewWithRule(sigma0, ru, seed)
 	default:
 		return nil, fmt.Errorf("sops: engine %q is not sequential (want %s|%s)", engine, EngineChain, EngineKMC)
 	}
@@ -102,9 +131,12 @@ type Snapshot struct {
 	Iteration uint64
 	Perimeter int
 	Edges     int
-	Alpha     float64 // perimeter / pmin
-	Beta      float64 // perimeter / pmax
-	HoleFree  bool
+	// Energy is the rule's Hamiltonian H(σ): e(σ) for compression, the
+	// aligned-edge count for alignment.
+	Energy   int
+	Alpha    float64 // perimeter / pmin
+	Beta     float64 // perimeter / pmax
+	HoleFree bool
 }
 
 // Result reports a completed run.
@@ -112,10 +144,17 @@ type Result struct {
 	N          int
 	Lambda     float64
 	Iterations uint64
+	// Rule is the local rule the run executed (RuleCompression by default).
+	Rule string
 	// Moves counts accepted particle relocations.
-	Moves     uint64
+	Moves uint64
+	// Rotations counts accepted payload changes (payload rules only).
+	Rotations uint64
 	Perimeter int
 	Edges     int
+	// Energy is the final H(σ): e(σ) for compression, aligned edges for
+	// alignment.
+	Energy    int
 	Triangles int
 	Alpha     float64
 	Beta      float64
@@ -168,6 +207,13 @@ type Options struct {
 	// (rejection-free sequential engine), or EngineAmoebot (equivalent to
 	// Distributed).
 	Engine string
+	// Rule selects the local rule: RuleCompression (default) or
+	// RuleAlignment. Every engine runs every rule.
+	Rule string
+	// RuleStates overrides the payload state count of rules that carry one
+	// (alignment's orientation count k); zero selects the rule's default.
+	// Stateless rules reject an override.
+	RuleStates int
 	// Distributed selects the amoebot Algorithm A with Poisson-clock
 	// scheduling instead of the sequential Markov chain M. It is the legacy
 	// spelling of Engine == EngineAmoebot; setting both to conflicting
@@ -234,6 +280,10 @@ func Compress(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ru, err := rule.New(opts.Rule, opts.Lambda, opts.RuleStates)
+	if err != nil {
+		return nil, err
+	}
 	start, err := opts.startConfig()
 	if err != nil {
 		return nil, err
@@ -248,9 +298,9 @@ func Compress(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("sops: Workers requires the %s engine", EngineAmoebot)
 	}
 	if engine == EngineAmoebot {
-		return compressDistributed(opts, start)
+		return compressDistributed(opts, ru, start)
 	}
-	return compressSequential(engine, opts, start)
+	return compressSequential(engine, opts, ru, start)
 }
 
 // engine resolves the Engine/Distributed pair to one engine name.
@@ -273,13 +323,13 @@ func (o Options) engine() (string, error) {
 	}
 }
 
-func compressSequential(engine string, opts Options, start *config.Config) (*Result, error) {
-	c, err := NewSequential(engine, start, opts.Lambda, opts.Seed)
+func compressSequential(engine string, opts Options, ru *rule.Rule, start *config.Config) (*Result, error) {
+	c, err := NewSequentialWithRule(engine, start, ru, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
 	total := opts.iterations()
-	res := &Result{N: opts.N, Lambda: opts.Lambda}
+	res := &Result{N: opts.N, Lambda: opts.Lambda, Rule: ru.Name()}
 	runWithSnapshots(total, opts.SnapshotEvery, func(k uint64) {
 		c.Run(k)
 	}, func(done uint64) Snapshot {
@@ -287,6 +337,7 @@ func compressSequential(engine string, opts Options, start *config.Config) (*Res
 			Iteration: done,
 			Perimeter: c.Perimeter(),
 			Edges:     c.Edges(),
+			Energy:    c.Energy(),
 			Alpha:     metrics.Alpha(c.Perimeter(), opts.N),
 			Beta:      metrics.Beta(c.Perimeter(), opts.N),
 			HoleFree:  c.HoleFree(),
@@ -294,12 +345,14 @@ func compressSequential(engine string, opts Options, start *config.Config) (*Res
 	}, res)
 	res.Iterations = c.Steps()
 	res.Moves = c.Accepted()
+	res.Rotations = c.Rotations()
+	res.Energy = c.Energy()
 	finishResult(res, c.Config())
 	return res, nil
 }
 
-func compressDistributed(opts Options, start *config.Config) (*Result, error) {
-	proto, err := amoebot.NewCompression(opts.Lambda)
+func compressDistributed(opts Options, ru *rule.Rule, start *config.Config) (*Result, error) {
+	proto, err := amoebot.NewMetropolis(ru)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +360,12 @@ func compressDistributed(opts Options, start *config.Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{N: opts.N, Lambda: opts.Lambda}
+	if !ru.Stateless() {
+		// Initial payload states derive from the run seed so the full run
+		// stays reproducible.
+		w.SeedPayload(ru.States(), opts.Seed)
+	}
+	res := &Result{N: opts.N, Lambda: opts.Lambda, Rule: ru.Name()}
 	if opts.CrashFraction > 0 {
 		rng := rand.New(rand.NewPCG(opts.Seed, 0xdead))
 		for _, id := range w.CrashFraction(rng, opts.CrashFraction) {
@@ -337,6 +395,7 @@ func compressDistributed(opts Options, start *config.Config) (*Result, error) {
 			Iteration: done,
 			Perimeter: p,
 			Edges:     cfg.Edges(),
+			Energy:    w.Energy(ru),
 			Alpha:     metrics.Alpha(p, opts.N),
 			Beta:      metrics.Beta(p, opts.N),
 			HoleFree:  !cfg.HasHoles(),
@@ -344,7 +403,9 @@ func compressDistributed(opts Options, start *config.Config) (*Result, error) {
 	}, res)
 	res.Iterations = w.Activations()
 	res.Moves = w.Moves()
+	res.Rotations = w.Rotations()
 	res.Rounds = w.Rounds()
+	res.Energy = w.Energy(ru)
 	finishResult(res, w.Config())
 	return res, nil
 }

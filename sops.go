@@ -37,6 +37,20 @@ const (
 	EngineAmoebot = runner.EngineAmoebot
 )
 
+// Rule names for Options.Rule and the experiment rule axis. A rule is a
+// compiled (guard, Hamiltonian) pair — which local moves are admissible and
+// how the Metropolis filter prices them; every engine runs every rule.
+const (
+	// RuleCompression is the paper's chain M: π(σ) ∝ λ^{e(σ)}.
+	RuleCompression = runner.RuleCompression
+	// RuleAlignment is the oriented-particle alignment chain: per-particle
+	// orientation spins, π(σ) ∝ λ^{aligned edges}, rotation moves.
+	RuleAlignment = runner.RuleAlignment
+)
+
+// Rules lists every built-in rule name.
+func Rules() []string { return runner.Rules() }
+
 // CompressionThreshold returns 2+√2 ≈ 3.414: the paper proves
 // α-compression for every λ above it (Theorem 4.5, Corollary 4.6).
 func CompressionThreshold() float64 { return 2 + math.Sqrt2 }
