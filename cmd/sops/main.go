@@ -6,6 +6,7 @@
 //	sops run            one simulation run (chain M, rejection-free kmc, or amoebot A)
 //	sops sweep          declarative, resumable scenario sweep
 //	sops resume         continue an interrupted sweep from its directory
+//	sops serve          HTTP job manager: submit sweeps/runs, stream snapshots, cached results
 //	sops figures        regenerate the data behind the paper's figures
 //	sops census         exact enumeration tables (Ω*, perimeter census)
 //	sops list-scenarios print the workload registry
@@ -15,6 +16,7 @@
 //	sops run -n 100 -lambda 4 -render
 //	sops sweep -scenario phase -sizes 100 -reps 5 -dir out/phase
 //	sops resume -dir out/phase
+//	sops serve -addr :8080 -dir sops-store
 //	sops figures -fig 2
 package main
 
@@ -31,6 +33,7 @@ var commands = map[string]func([]string) error{
 	"run":            cmdRun,
 	"sweep":          cmdSweep,
 	"resume":         cmdResume,
+	"serve":          cmdServe,
 	"figures":        cmdFigures,
 	"census":         cmdCensus,
 	"list-scenarios": cmdListScenarios,
@@ -73,6 +76,8 @@ commands:
   run             one simulation run (-engine chain|kmc|amoebot)
   sweep           declarative scenario sweep; resumable with -dir
   resume          continue an interrupted sweep from its directory
+  serve           HTTP job manager: submit sweeps/runs, stream NDJSON
+                  snapshots, serve cached results by spec digest
   figures         regenerate the data behind the paper's figures
   census          exact enumeration tables (Ω*, perimeter census, N50)
   list-scenarios  print the workload registry and per-scenario defaults

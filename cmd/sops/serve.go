@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sops"
+)
+
+// cmdServe runs the simulation service: the job manager, streaming, and
+// result cache of internal/serve behind one HTTP listener. Ctrl-C is a
+// graceful shutdown — running sweeps journal their completed tasks and the
+// next `sops serve -dir` over the same store resumes them.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("sops serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		dir     = fs.String("dir", "sops-store", "store directory: job records, journals, cached results")
+		jobs    = fs.Int("jobs", 0, "concurrent jobs (0 = 2)")
+		workers = fs.Int("task-workers", 0, "per-sweep worker-pool size (0 = GOMAXPROCS)")
+		queue   = fs.Int("queue", 0, "pending-job queue depth (0 = 256)")
+	)
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	handle, err := startServe(*addr, sops.ServeOptions{
+		Dir: *dir, Jobs: *jobs, TaskWorkers: *workers, QueueDepth: *queue,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sops serve: listening on %s, store %s\n", handle.addr, *dir)
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "sops serve: shutting down (journaled sweeps resume on restart)")
+		return handle.shutdown()
+	case err := <-handle.failed:
+		return err
+	}
+}
+
+// serveHandle is a started server: its resolved listen address, a failure
+// channel, and a graceful shutdown. Split from cmdServe so tests can drive
+// the full startup on an ephemeral port.
+type serveHandle struct {
+	addr     string
+	srv      *http.Server
+	jobs     *sops.JobServer
+	failed   chan error
+	shutdown func() error
+}
+
+// startServe opens the store, binds addr, and serves in the background.
+func startServe(addr string, opt sops.ServeOptions) (*serveHandle, error) {
+	js, err := sops.NewJobServer(opt)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = js.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: js, ReadHeaderTimeout: 10 * time.Second}
+	h := &serveHandle{addr: ln.Addr().String(), srv: srv, jobs: js, failed: make(chan error, 1)}
+	h.shutdown = func() error {
+		// Stop the job manager first: running sweeps journal and park as
+		// pending, and every stream closes so connected followers drain —
+		// in the other order Shutdown would wait its whole timeout on
+		// live stream connections that only end when jobs do.
+		cerr := js.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := srv.Shutdown(sctx)
+		if err == nil {
+			err = cerr
+		}
+		return err
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			h.failed <- err
+		}
+	}()
+	return h, nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sops"
+)
+
+// TestStartServeEndToEnd boots the real serve stack on an ephemeral port —
+// exactly what cmdServe does minus the signal loop — submits a job over
+// HTTP, and shuts down gracefully.
+func TestStartServeEndToEnd(t *testing.T) {
+	h, err := startServe("127.0.0.1:0", sops.ServeOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.shutdown() }()
+	base := "http://" + h.addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"spec":{"scenario":"compress","lambdas":[4],"sizes":[8],"engines":["chain"],"iterations":2000,"reps":1,"seed":3}}`
+	presp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", presp.StatusCode, raw)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(raw, &job); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jr, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jraw, _ := io.ReadAll(jr.Body)
+		jr.Body.Close()
+		var cur struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(jraw, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == "done" {
+			break
+		}
+		if cur.State == "failed" || cur.State == "canceled" {
+			t.Fatalf("job ended %s: %s", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", cur.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rresp, err := http.Get(base + "/v1/jobs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rraw, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if !bytes.Contains(rraw, []byte(`"alpha"`)) {
+		t.Fatalf("result missing metrics: %s", rraw)
+	}
+	if err := h.shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestStartServeRejectsBadStore: an unusable store directory fails fast.
+func TestStartServeRejectsBadStore(t *testing.T) {
+	if _, err := startServe("127.0.0.1:0", sops.ServeOptions{}); err == nil {
+		t.Fatal("empty store dir must fail")
+	}
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// digestVersion is folded into every spec digest. Bump it whenever the
+// canonical Spec encoding, the task-seed derivation, the point-grid order,
+// or any scenario's semantics change in a way that alters results: the bump
+// retires every cached result at once instead of serving stale bytes.
+const digestVersion = "sops-experiment-digest-v1"
+
+// Normalize returns the canonical form of spec: scenario defaults applied,
+// empty axes filled, values validated — exactly what Run journals as the
+// sweep's identity. Normalize is idempotent (FuzzSpecRoundTrip enforces the
+// fixpoint), so the canonical Spec is a stable content address.
+func Normalize(spec Spec) (Spec, error) {
+	sc, err := lookup(spec.Scenario)
+	if err != nil {
+		return Spec{}, err
+	}
+	return spec.normalized(sc)
+}
+
+// Digest returns the content address of the experiment spec: a hex SHA-256
+// over a versioned canonical JSON encoding of the normalized Spec. The
+// normalized Spec determines the scenario, every axis value, the iteration
+// budgets, and (through the seed-derivation contract) every task's RNG
+// stream, so two specs with equal digests produce byte-identical
+// PointSummaries; `sops serve` keys its result cache on this.
+func Digest(spec Spec) (string, error) {
+	norm, err := Normalize(spec)
+	if err != nil {
+		return "", err
+	}
+	canon, err := json.Marshal(norm)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	_, _ = io.WriteString(h, digestVersion+"\n")
+	_, _ = h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// TaskCount returns the total number of (point, rep) tasks the normalized
+// spec expands to. It errors on a spec that does not normalize.
+func TaskCount(spec Spec) (int, error) {
+	norm, err := Normalize(spec)
+	if err != nil {
+		return 0, err
+	}
+	return len(norm.points()) * norm.Reps, nil
+}
+
+// MarshalCanonical returns the canonical JSON encoding of the normalized
+// spec — the exact bytes the digest covers, useful for debugging cache
+// misses ("why did these two specs hash differently?").
+func MarshalCanonical(spec Spec) ([]byte, error) {
+	norm, err := Normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(norm)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: canonical encoding: %w", err)
+	}
+	return b, nil
+}

@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -15,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"sops/internal/runner"
 	"sops/internal/stats"
 )
 
@@ -29,6 +31,17 @@ type RunOptions struct {
 	Workers int
 	// Progress, when non-nil, receives one line per completed task.
 	Progress io.Writer
+	// OnTask, when non-nil, is called once per task executed by this
+	// invocation (journal replays excluded), from the single aggregation
+	// goroutine, in completion order. err is the task's failure, nil on
+	// success. The `sops serve` job manager hooks progress tracking here.
+	OnTask func(t Task, m Metrics, err error)
+	// OnSnapshot, when non-nil, is injected into every dispatched task as
+	// Task.OnSnapshot: scenarios that take mid-run snapshots
+	// (Spec.SnapshotEvery > 0) deliver each frame here live, concurrently
+	// from worker goroutines. The `sops serve` streaming endpoint hooks
+	// here.
+	OnSnapshot func(t Task, s runner.Snapshot)
 }
 
 // PointSummary aggregates all replications at one sweep point.
@@ -78,9 +91,11 @@ type outcome struct {
 // worker pool; with RunOptions.Dir set, every finished task is journaled and
 // a rerun (or `sops resume`) skips journaled (point, rep) pairs, replaying
 // their recorded metrics instead. Cancelling ctx stops dispatching new
-// tasks, lets in-flight ones journal, and returns an error wrapping
-// ctx.Err(); the final summaries of a resumed run are byte-identical to an
-// uninterrupted run with the same spec.
+// tasks, interrupts snapshot-taking in-flight tasks at their next snapshot
+// boundary (dropping them unjournaled, to rerun on resume), lets the rest
+// journal, and returns an error wrapping ctx.Err(); the final summaries of
+// a resumed run are byte-identical to an uninterrupted run with the same
+// spec.
 func Run(ctx context.Context, spec Spec, opt RunOptions) (*Result, error) {
 	started := time.Now()
 	sc, err := lookup(spec.Scenario)
@@ -127,12 +142,18 @@ func Run(ctx context.Context, spec Spec, opt RunOptions) (*Result, error) {
 	for pi := range points {
 		for r := 0; r < spec.Reps; r++ {
 			if !table[pi][r].done {
-				pending = append(pending, Task{
+				t := Task{
 					Point:      points[pi],
 					PointIndex: pi,
 					Rep:        r,
 					Seed:       taskSeed(spec.Seed, pi, r),
-				})
+				}
+				if opt.OnSnapshot != nil {
+					id := t // the identity fields only; avoids a self-referential closure
+					t.OnSnapshot = func(s runner.Snapshot) { opt.OnSnapshot(id, s) }
+				}
+				t.Interrupt = func() bool { return ctx.Err() != nil }
+				pending = append(pending, t)
 			}
 		}
 	}
@@ -183,6 +204,13 @@ func Run(ctx context.Context, spec Spec, opt RunOptions) (*Result, error) {
 
 	var journalErr error
 	for d := range results {
+		if errors.Is(d.err, runner.ErrInterrupted) {
+			// The cancelled context interrupted this task mid-run: it is
+			// not an outcome. Dropping it unjournaled (and uncounted) makes
+			// it rerun on resume, keeping resumed summaries byte-identical
+			// to an uninterrupted sweep.
+			continue
+		}
 		o := outcome{done: true, metrics: d.metrics}
 		if d.err != nil {
 			o.errMsg = d.err.Error()
@@ -198,6 +226,9 @@ func Run(ctx context.Context, spec Spec, opt RunOptions) (*Result, error) {
 				Metrics: o.metrics,
 				Error:   o.errMsg,
 			})
+		}
+		if opt.OnTask != nil {
+			opt.OnTask(d.task, d.metrics, d.err)
 		}
 		if opt.Progress != nil {
 			status := "ok"

@@ -163,6 +163,8 @@ func runCompress(sp Spec, t Task) (Metrics, error) {
 		RuleStates:    ruleStatesFor(t.Point.Rule, sp.RuleStates),
 		CrashFraction: t.Point.Crash,
 		SnapshotEvery: sp.SnapshotEvery,
+		SnapshotFunc:  t.OnSnapshot,
+		Interrupt:     t.Interrupt,
 	})
 	if err != nil {
 		return nil, err

@@ -105,6 +105,17 @@ type Task struct {
 	PointIndex int
 	Rep        int
 	Seed       uint64
+	// OnSnapshot, when non-nil, receives every mid-run snapshot of this
+	// task as it is taken (scenarios that run snapshots forward it into
+	// runner.Options.SnapshotFunc). It is an execution-side observer
+	// injected from RunOptions.OnSnapshot — never part of the task's
+	// identity, never journaled, and free for scenarios to ignore.
+	OnSnapshot func(runner.Snapshot) `json:"-"`
+	// Interrupt, when non-nil, asks the scenario to abandon the task:
+	// snapshot-taking runs poll it at every snapshot boundary and return
+	// runner.ErrInterrupted. Run injects the sweep context here; an
+	// interrupted task is dropped unjournaled and reruns on resume.
+	Interrupt func() bool `json:"-"`
 }
 
 // Metrics is a bag of named measurements produced by one run.

@@ -7,6 +7,7 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 
@@ -119,63 +120,80 @@ func StartShapes() []StartShape {
 	return []StartShape{StartLine, StartSpiral, StartRandom, StartTree}
 }
 
+// ErrInterrupted is returned by Compress when Options.Interrupt stopped the
+// run before the iteration budget was spent.
+var ErrInterrupted = errors.New("sops: run interrupted")
+
 // Point is a vertex of the triangular lattice in axial coordinates.
 type Point struct {
-	X, Y int
+	X int `json:"x"`
+	Y int `json:"y"`
 }
 
-// Snapshot records the system state at one instant of a run.
+// Snapshot records the system state at one instant of a run. It is also the
+// wire format of the `sops serve` streaming endpoint, hence the JSON tags.
 type Snapshot struct {
 	// Iteration counts Markov chain iterations (sequential runs) or
 	// particle activations (distributed runs).
-	Iteration uint64
-	Perimeter int
-	Edges     int
+	Iteration uint64 `json:"iteration"`
+	Perimeter int    `json:"perimeter"`
+	Edges     int    `json:"edges"`
 	// Energy is the rule's Hamiltonian H(σ): e(σ) for compression, the
 	// aligned-edge count for alignment.
-	Energy   int
-	Alpha    float64 // perimeter / pmin
-	Beta     float64 // perimeter / pmax
-	HoleFree bool
+	Energy   int     `json:"energy"`
+	Alpha    float64 `json:"alpha"` // perimeter / pmin
+	Beta     float64 `json:"beta"`  // perimeter / pmax
+	HoleFree bool    `json:"hole_free"`
+	// SVG is a rendering of the configuration at this instant, filled only
+	// when Options.SnapshotSVG is set.
+	SVG string `json:"svg,omitempty"`
 }
 
-// Result reports a completed run.
+// Result reports a completed run. It doubles as the stored result document
+// of `sops serve` run jobs, hence the JSON tags.
 type Result struct {
-	N          int
-	Lambda     float64
-	Iterations uint64
+	N          int     `json:"n"`
+	Lambda     float64 `json:"lambda"`
+	Iterations uint64  `json:"iterations"`
 	// Rule is the local rule the run executed (RuleCompression by default).
-	Rule string
+	Rule string `json:"rule"`
 	// Moves counts accepted particle relocations.
-	Moves uint64
+	Moves uint64 `json:"moves"`
 	// Rotations counts accepted payload changes (payload rules only).
-	Rotations uint64
-	Perimeter int
-	Edges     int
+	Rotations uint64 `json:"rotations,omitempty"`
+	Perimeter int    `json:"perimeter"`
+	Edges     int    `json:"edges"`
 	// Energy is the final H(σ): e(σ) for compression, aligned edges for
 	// alignment.
-	Energy    int
-	Triangles int
-	Alpha     float64
-	Beta      float64
-	HoleFree  bool
+	Energy    int     `json:"energy"`
+	Triangles int     `json:"triangles"`
+	Alpha     float64 `json:"alpha"`
+	Beta      float64 `json:"beta"`
+	HoleFree  bool    `json:"hole_free"`
 	// Rounds is the number of asynchronous rounds (distributed runs only).
-	Rounds uint64
+	Rounds uint64 `json:"rounds,omitempty"`
 	// Crashed lists crash-failed particle positions (distributed runs with
 	// CrashFraction > 0).
-	Crashed []Point
+	Crashed []Point `json:"crashed,omitempty"`
 	// Points is the final configuration (tails of all particles).
-	Points []Point
+	Points []Point `json:"points"`
 	// Snapshots holds the requested mid-run measurements in order.
-	Snapshots []Snapshot
+	Snapshots []Snapshot `json:"snapshots,omitempty"`
 	// Rendering is an ASCII drawing of the final configuration.
-	Rendering string
+	Rendering string `json:"rendering,omitempty"`
 }
 
 // SVG renders the final configuration as a standalone SVG document in the
 // style of the paper's figures (particles with induced edges drawn; crashed
 // particles hollow).
 func (r *Result) SVG() string {
+	return string(r.AppendSVG(nil))
+}
+
+// AppendSVG appends the final configuration's SVG document to buf and
+// returns the extended slice — the reusable-buffer path behind SVG for
+// callers rendering many results.
+func (r *Result) AppendSVG(buf []byte) []byte {
 	cfg := config.New()
 	for _, p := range r.Points {
 		cfg.Add(lattice.Point{X: p.X, Y: p.Y})
@@ -184,54 +202,70 @@ func (r *Result) SVG() string {
 	for _, p := range r.Crashed {
 		marks[lattice.Point{X: p.X, Y: p.Y}] = true
 	}
-	return viz.SVG(cfg, marks)
+	return viz.AppendSVG(buf, cfg, marks)
 }
 
 // Options configures a run. The zero value is not runnable: N and Lambda
-// must be positive.
+// must be positive. The JSON tags define the run-job wire format of
+// `sops serve`; the callback fields are execution-side hooks excluded from
+// serialization (and from the serve cache digest).
 type Options struct {
 	// N is the number of particles.
-	N int
+	N int `json:"n"`
 	// Lambda is the bias parameter λ. λ > 2+√2 compresses; λ < 2.17
 	// expands.
-	Lambda float64
+	Lambda float64 `json:"lambda"`
 	// Iterations is the number of chain iterations (sequential) or particle
 	// activations (distributed). Defaults to 200·N² if zero.
-	Iterations uint64
+	Iterations uint64 `json:"iterations,omitempty"`
 	// Seed makes the run reproducible. Runs with equal options and seed
 	// produce identical results.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Start selects the initial shape; default StartLine.
-	Start StartShape
+	Start StartShape `json:"start,omitempty"`
 	// Engine selects the execution engine: EngineChain (default), EngineKMC
 	// (rejection-free sequential engine), or EngineAmoebot (equivalent to
 	// Distributed).
-	Engine string
+	Engine string `json:"engine,omitempty"`
 	// Rule selects the local rule: RuleCompression (default) or
 	// RuleAlignment. Every engine runs every rule.
-	Rule string
+	Rule string `json:"rule,omitempty"`
 	// RuleStates overrides the payload state count of rules that carry one
 	// (alignment's orientation count k); zero selects the rule's default.
 	// Stateless rules reject an override.
-	RuleStates int
+	RuleStates int `json:"rule_states,omitempty"`
 	// Distributed selects the amoebot Algorithm A with Poisson-clock
 	// scheduling instead of the sequential Markov chain M. It is the legacy
 	// spelling of Engine == EngineAmoebot; setting both to conflicting
 	// values is an error.
-	Distributed bool
+	Distributed bool `json:"distributed,omitempty"`
 	// CrashFraction crash-fails this fraction of particles at the start of
 	// a distributed run (§3.3 fault tolerance). Only valid with
 	// Distributed.
-	CrashFraction float64
+	CrashFraction float64 `json:"crash_fraction,omitempty"`
 	// Workers > 1 drives a distributed run with that many goroutines
 	// activating particles concurrently (activations stay atomic, as the
 	// model requires). Concurrent trajectories are not reproducible across
 	// runs; invariants and long-run statistics are unaffected. Only valid
 	// with Distributed.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// SnapshotEvery records a snapshot every given number of iterations;
 	// zero disables snapshots.
-	SnapshotEvery uint64
+	SnapshotEvery uint64 `json:"snapshot_every,omitempty"`
+	// SnapshotSVG additionally renders each snapshot's configuration into
+	// Snapshot.SVG. Frames share one render buffer, so the per-frame cost
+	// is the formatting alone (BenchmarkSnapshotEncode).
+	SnapshotSVG bool `json:"snapshot_svg,omitempty"`
+	// SnapshotFunc, when non-nil, receives every snapshot as it is taken,
+	// in iteration order, before the run continues. Snapshots are still
+	// appended to Result.Snapshots. The `sops serve` streaming endpoint
+	// hooks here; the callback must not retain the engine.
+	SnapshotFunc func(Snapshot) `json:"-"`
+	// Interrupt, when non-nil, is polled at every snapshot boundary (and
+	// once before an unsnapshotted run): returning true stops the run and
+	// Compress returns ErrInterrupted. With SnapshotEvery zero the poll
+	// granularity is the whole run.
+	Interrupt func() bool `json:"-"`
 }
 
 func (o Options) startConfig() (*config.Config, error) {
@@ -303,6 +337,62 @@ func Compress(opts Options) (*Result, error) {
 	return compressSequential(engine, opts, ru, start)
 }
 
+// Normalized returns the canonical form of o: the engine resolved (the
+// legacy Distributed bit folded into Engine), the start shape, rule name,
+// and iteration budget made explicit, and the axes validated the same way
+// Compress validates them. Two Options with equal normalized forms run
+// identical simulations, which is what makes the normalized encoding a
+// sound cache key for `sops serve` run jobs (callback fields are excluded
+// from serialization and cannot affect results).
+func (o Options) Normalized() (Options, error) {
+	engine, err := o.engine()
+	if err != nil {
+		return o, err
+	}
+	if o.N < 1 {
+		return o, fmt.Errorf("sops: N must be positive, got %d", o.N)
+	}
+	if o.Lambda <= 0 {
+		return o, fmt.Errorf("sops: Lambda must be positive, got %v", o.Lambda)
+	}
+	if _, err := rule.New(o.Rule, o.Lambda, o.RuleStates); err != nil {
+		return o, err
+	}
+	if o.CrashFraction < 0 || o.CrashFraction >= 1 {
+		return o, fmt.Errorf("sops: CrashFraction must be in [0,1), got %v", o.CrashFraction)
+	}
+	if o.CrashFraction > 0 && engine != EngineAmoebot {
+		return o, fmt.Errorf("sops: CrashFraction requires the %s engine", EngineAmoebot)
+	}
+	if o.Workers > 1 && engine != EngineAmoebot {
+		return o, fmt.Errorf("sops: Workers requires the %s engine", EngineAmoebot)
+	}
+	o.Engine = engine
+	o.Distributed = false
+	if o.Start == "" {
+		o.Start = StartLine
+	} else if !validShape(o.Start) {
+		return o, fmt.Errorf("sops: unknown start shape %q", o.Start)
+	}
+	if o.Rule == "" {
+		o.Rule = RuleCompression
+	}
+	o.Iterations = o.iterations()
+	if o.Workers < 2 {
+		o.Workers = 0
+	}
+	return o, nil
+}
+
+func validShape(s StartShape) bool {
+	for _, shape := range StartShapes() {
+		if s == shape {
+			return true
+		}
+	}
+	return false
+}
+
 // engine resolves the Engine/Distributed pair to one engine name.
 func (o Options) engine() (string, error) {
 	switch o.Engine {
@@ -330,10 +420,11 @@ func compressSequential(engine string, opts Options, ru *rule.Rule, start *confi
 	}
 	total := opts.iterations()
 	res := &Result{N: opts.N, Lambda: opts.Lambda, Rule: ru.Name()}
-	runWithSnapshots(total, opts.SnapshotEvery, func(k uint64) {
+	snap := newSnapshotter(opts)
+	if err := runWithSnapshots(total, opts, func(k uint64) {
 		c.Run(k)
 	}, func(done uint64) Snapshot {
-		return Snapshot{
+		return snap.take(Snapshot{
 			Iteration: done,
 			Perimeter: c.Perimeter(),
 			Edges:     c.Edges(),
@@ -341,8 +432,10 @@ func compressSequential(engine string, opts Options, ru *rule.Rule, start *confi
 			Alpha:     metrics.Alpha(c.Perimeter(), opts.N),
 			Beta:      metrics.Beta(c.Perimeter(), opts.N),
 			HoleFree:  c.HoleFree(),
-		}
-	}, res)
+		}, c.Config)
+	}, res); err != nil {
+		return nil, err
+	}
 	res.Iterations = c.Steps()
 	res.Moves = c.Accepted()
 	res.Rotations = c.Rotations()
@@ -388,10 +481,11 @@ func compressDistributed(opts Options, ru *rule.Rule, start *config.Config) (*Re
 		runChunk = func(k uint64) { s.RunActivations(k) }
 	}
 	total := opts.iterations()
-	runWithSnapshots(total, opts.SnapshotEvery, runChunk, func(done uint64) Snapshot {
+	snap := newSnapshotter(opts)
+	if err := runWithSnapshots(total, opts, runChunk, func(done uint64) Snapshot {
 		cfg := w.Config()
 		p := cfg.Perimeter()
-		return Snapshot{
+		return snap.take(Snapshot{
 			Iteration: done,
 			Perimeter: p,
 			Edges:     cfg.Edges(),
@@ -399,8 +493,10 @@ func compressDistributed(opts Options, ru *rule.Rule, start *config.Config) (*Re
 			Alpha:     metrics.Alpha(p, opts.N),
 			Beta:      metrics.Beta(p, opts.N),
 			HoleFree:  !cfg.HasHoles(),
-		}
-	}, res)
+		}, func() *config.Config { return cfg })
+	}, res); err != nil {
+		return nil, err
+	}
 	res.Iterations = w.Activations()
 	res.Moves = w.Moves()
 	res.Rotations = w.Rotations()
@@ -410,14 +506,49 @@ func compressDistributed(opts Options, ru *rule.Rule, start *config.Config) (*Re
 	return res, nil
 }
 
-// runWithSnapshots splits total work into snapshot intervals.
-func runWithSnapshots(total, every uint64, run func(uint64), snap func(uint64) Snapshot, res *Result) {
+// snapshotter finishes raw snapshots: it renders the optional SVG into a
+// buffer reused across frames and feeds the completed snapshot to the
+// streaming callback before the run continues.
+type snapshotter struct {
+	svg bool
+	fn  func(Snapshot)
+	buf []byte
+}
+
+func newSnapshotter(opts Options) *snapshotter {
+	return &snapshotter{svg: opts.SnapshotSVG, fn: opts.SnapshotFunc}
+}
+
+// take completes s. cfg is called only when SVG rendering is on, so the
+// sequential hot path never materializes a map-backed config per frame.
+func (sn *snapshotter) take(s Snapshot, cfg func() *config.Config) Snapshot {
+	if sn.svg {
+		sn.buf = viz.AppendSVG(sn.buf[:0], cfg(), nil)
+		s.SVG = string(sn.buf)
+	}
+	if sn.fn != nil {
+		sn.fn(s)
+	}
+	return s
+}
+
+// runWithSnapshots splits total work into snapshot intervals, polling
+// Options.Interrupt at every boundary.
+func runWithSnapshots(total uint64, opts Options, run func(uint64), snap func(uint64) Snapshot, res *Result) error {
+	interrupted := func() bool { return opts.Interrupt != nil && opts.Interrupt() }
+	every := opts.SnapshotEvery
 	if every == 0 || every >= total {
+		if interrupted() {
+			return ErrInterrupted
+		}
 		run(total)
-		return
+		return nil
 	}
 	var done uint64
 	for done < total {
+		if interrupted() {
+			return ErrInterrupted
+		}
 		k := every
 		if done+k > total {
 			k = total - done
@@ -426,6 +557,7 @@ func runWithSnapshots(total, every uint64, run func(uint64), snap func(uint64) S
 		done += k
 		res.Snapshots = append(res.Snapshots, snap(done))
 	}
+	return nil
 }
 
 func finishResult(res *Result, cfg *config.Config) {

@@ -1,0 +1,170 @@
+package runner_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sops/internal/runner"
+)
+
+// TestSnapshotFuncStreamsInOrder: the snapshot callback sees exactly the
+// snapshots that land in Result.Snapshots, live and in iteration order, on
+// every engine.
+func TestSnapshotFuncStreamsInOrder(t *testing.T) {
+	for _, engine := range runner.Engines() {
+		var streamed []runner.Snapshot
+		res, err := runner.Compress(runner.Options{
+			N: 10, Lambda: 4, Iterations: 5000, Seed: 3, Engine: engine,
+			SnapshotEvery: 1000,
+			SnapshotFunc:  func(s runner.Snapshot) { streamed = append(streamed, s) },
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if len(res.Snapshots) != 5 {
+			t.Fatalf("%s: %d snapshots, want 5", engine, len(res.Snapshots))
+		}
+		if len(streamed) != len(res.Snapshots) {
+			t.Fatalf("%s: streamed %d, recorded %d", engine, len(streamed), len(res.Snapshots))
+		}
+		for i, s := range streamed {
+			if s != res.Snapshots[i] {
+				t.Fatalf("%s: streamed snapshot %d differs from recorded: %+v vs %+v",
+					engine, i, s, res.Snapshots[i])
+			}
+			if s.Iteration != uint64(i+1)*1000 {
+				t.Fatalf("%s: snapshot %d at iteration %d", engine, i, s.Iteration)
+			}
+		}
+	}
+}
+
+// TestSnapshotSVG: with SnapshotSVG set every frame carries a rendering,
+// and the final frame's SVG equals the result's own rendering (same
+// configuration, same code path).
+func TestSnapshotSVG(t *testing.T) {
+	res, err := runner.Compress(runner.Options{
+		N: 8, Lambda: 4, Iterations: 2000, Seed: 1,
+		SnapshotEvery: 500, SnapshotSVG: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Snapshots {
+		if !strings.HasPrefix(s.SVG, "<svg") {
+			t.Fatalf("snapshot %d SVG malformed: %.40q", i, s.SVG)
+		}
+	}
+	last := res.Snapshots[len(res.Snapshots)-1]
+	if last.Iteration != 2000 {
+		t.Fatalf("last snapshot at %d", last.Iteration)
+	}
+	if last.SVG != res.SVG() {
+		t.Fatal("final snapshot SVG differs from Result.SVG()")
+	}
+	// Buffer reuse must not alias frames: every snapshot owns its string.
+	if len(res.Snapshots) >= 2 && res.Snapshots[0].SVG == last.SVG && res.Snapshots[0].Perimeter != last.Perimeter {
+		t.Fatal("snapshot SVGs alias one buffer")
+	}
+}
+
+// TestSnapshotsOffByDefault: no SnapshotSVG, no SVG bytes.
+func TestSnapshotsOffByDefault(t *testing.T) {
+	res, err := runner.Compress(runner.Options{
+		N: 8, Lambda: 4, Iterations: 1000, Seed: 1, SnapshotEvery: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Snapshots {
+		if s.SVG != "" {
+			t.Fatal("SVG rendered without SnapshotSVG")
+		}
+	}
+}
+
+// TestInterrupt: the poll stops the run at a snapshot boundary with
+// ErrInterrupted; an immediately-true interrupt stops before any work.
+func TestInterrupt(t *testing.T) {
+	calls := 0
+	_, err := runner.Compress(runner.Options{
+		N: 10, Lambda: 4, Iterations: 100_000, Seed: 1, SnapshotEvery: 1000,
+		Interrupt: func() bool { calls++; return calls > 3 },
+	})
+	if !errors.Is(err, runner.ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	_, err = runner.Compress(runner.Options{
+		N: 10, Lambda: 4, Iterations: 100_000, Seed: 1,
+		Interrupt: func() bool { return true },
+	})
+	if !errors.Is(err, runner.ErrInterrupted) {
+		t.Fatalf("unsnapshotted run: want ErrInterrupted, got %v", err)
+	}
+}
+
+// TestSnapshotHookDoesNotChangeTrajectory: hooks observe; results with and
+// without them are identical.
+func TestSnapshotHookDoesNotChangeTrajectory(t *testing.T) {
+	base := runner.Options{N: 12, Lambda: 4, Iterations: 8000, Seed: 7, SnapshotEvery: 2000}
+	plain, err := runner.Compress(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked := base
+	hooked.SnapshotFunc = func(runner.Snapshot) {}
+	hooked.Interrupt = func() bool { return false }
+	got, err := runner.Compress(hooked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Perimeter != plain.Perimeter || got.Moves != plain.Moves || len(got.Points) != len(plain.Points) {
+		t.Fatalf("hooks changed the run: %+v vs %+v", got, plain)
+	}
+}
+
+// TestOptionsNormalized: the canonical form is explicit, validated, and a
+// fixpoint.
+func TestOptionsNormalized(t *testing.T) {
+	norm, err := (runner.Options{N: 10, Lambda: 4}).Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Engine != runner.EngineChain || norm.Start != runner.StartLine ||
+		norm.Rule != runner.RuleCompression || norm.Iterations != 200*10*10 {
+		t.Fatalf("defaults not made explicit: %+v", norm)
+	}
+	again, err := norm.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", again) != fmt.Sprintf("%+v", norm) {
+		t.Fatalf("Normalized not idempotent: %+v vs %+v", again, norm)
+	}
+
+	dist, err := (runner.Options{N: 5, Lambda: 2, Distributed: true}).Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Engine != runner.EngineAmoebot || dist.Distributed {
+		t.Fatalf("Distributed not folded into Engine: %+v", dist)
+	}
+
+	for name, bad := range map[string]runner.Options{
+		"zero N":            {Lambda: 4},
+		"zero lambda":       {N: 5},
+		"conflict":          {N: 5, Lambda: 4, Engine: runner.EngineChain, Distributed: true},
+		"bad shape":         {N: 5, Lambda: 4, Start: "blob"},
+		"bad engine":        {N: 5, Lambda: 4, Engine: "warp"},
+		"bad rule":          {N: 5, Lambda: 4, Rule: "telepathy"},
+		"crash sequential":  {N: 5, Lambda: 4, CrashFraction: 0.2},
+		"workers chain":     {N: 5, Lambda: 4, Workers: 4},
+		"crash out of unit": {N: 5, Lambda: 4, Distributed: true, CrashFraction: 1},
+	} {
+		if _, err := bad.Normalized(); err == nil {
+			t.Errorf("%s: Normalized accepted %+v", name, bad)
+		}
+	}
+}

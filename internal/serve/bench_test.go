@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sops/internal/runner"
+)
+
+// BenchmarkSnapshotEncode measures the full per-frame cost of the
+// streaming path: render the configuration's SVG into the reused buffer
+// (the runner's snapshotter discipline) and marshal the NDJSON frame. This
+// is the number the bench gate holds so streaming stays cheap enough to
+// run on every snapshot boundary.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	res, err := runner.Compress(runner.Options{
+		N: 50, Lambda: 4, Iterations: 200_000, Seed: 1, Start: runner.StartSpiral,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := runner.Snapshot{
+		Iteration: res.Iterations, Perimeter: res.Perimeter, Edges: res.Edges,
+		Energy: res.Energy, Alpha: res.Alpha, Beta: res.Beta, HoleFree: res.HoleFree,
+	}
+	var svgBuf []byte
+	var line []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svgBuf = res.AppendSVG(svgBuf[:0])
+		f := snap
+		f.SVG = string(svgBuf)
+		frame := Frame{Type: FrameSnapshot, Snapshot: &f}
+		var merr error
+		line, merr = json.Marshal(frame)
+		if merr != nil {
+			b.Fatal(merr)
+		}
+	}
+	b.ReportMetric(float64(len(line)), "frame_bytes")
+}
+
+// BenchmarkSnapshotEncodeNoSVG isolates the metrics-only frame (the sweep
+// streaming default).
+func BenchmarkSnapshotEncodeNoSVG(b *testing.B) {
+	snap := runner.Snapshot{Iteration: 123456, Perimeter: 42, Edges: 120, Energy: 120, Alpha: 1.4, Beta: 0.2, HoleFree: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(Frame{Type: FrameSnapshot, Snapshot: &snap}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sops/internal/experiment"
+)
+
+// The content-addressed result store. Layout under the store directory:
+//
+//	jobs/<id>.json     one persisted Job record per submission
+//	exp/<digest16>/    sweep workspace: the experiment directory
+//	                   (spec.json, journal.jsonl, results.jsonl,
+//	                   results.csv, BENCH_*.json) plus COMPLETE
+//	run/<digest16>/    run workspace: result.json, frames.ndjson, COMPLETE
+//
+// A workload's digest is a SHA-256 over a versioned canonical encoding of
+// its normalized spec/options (experiment.Digest for sweeps, runDigest
+// below for runs), so the digest covers every axis value, budget, and seed
+// — everything that can change results — and nothing that cannot (worker
+// counts, progress sinks, callbacks). COMPLETE is written only after a
+// fully successful execution; its presence is the cache-hit predicate, and
+// the result files next to it are then served byte-identically without any
+// simulation work. Interrupted sweeps have a journal but no COMPLETE: a
+// resubmission (or restart) resumes them through the journal instead.
+
+// completeMarker is the per-workspace completion marker file.
+const completeMarker = "COMPLETE"
+
+// runDigestVersion versions the run-job digest; bump on any change to the
+// canonical runner.Options encoding or run semantics.
+const runDigestVersion = "sops-run-digest-v1"
+
+// completion is the COMPLETE file's content: enough to rebuild a cached
+// job's summary without re-reading the journal.
+type completion struct {
+	Digest      string `json:"digest"`
+	TasksTotal  int    `json:"tasks_total,omitempty"`
+	TasksFailed int    `json:"tasks_failed,omitempty"`
+	ResultFile  string `json:"result_file"`
+}
+
+// jobDigest computes the content address of a normalized request.
+func jobDigest(req JobRequest) (string, error) {
+	switch req.Kind {
+	case KindSweep:
+		return experiment.Digest(*req.Spec)
+	case KindRun:
+		canon, err := json.Marshal(*req.Run)
+		if err != nil {
+			return "", err
+		}
+		h := sha256.New()
+		_, _ = io.WriteString(h, runDigestVersion+"\n")
+		_, _ = h.Write(canon)
+		return hex.EncodeToString(h.Sum(nil)), nil
+	default:
+		return "", fmt.Errorf("serve: unknown job kind %q", req.Kind)
+	}
+}
+
+// cacheable reports whether the request's results are deterministic given
+// its digest. Concurrent amoebot trajectories (Workers > 1) are not
+// reproducible, so such runs are executed every time and never complete
+// into the cache.
+func cacheable(req JobRequest) bool {
+	return req.Kind != KindRun || req.Run.Workers <= 1
+}
+
+// workspace returns the store directory of a job's workload. Cacheable
+// workloads share one workspace per digest (that sharing is the cache);
+// nondeterministic ones (cacheable() == false) each own a job-suffixed
+// workspace so one job's stored result can never be overwritten by an
+// identically-specified later job.
+func (m *Manager) workspace(job *Job) string {
+	sub := "exp"
+	if job.Kind == KindRun {
+		sub = "run"
+	}
+	key := job.Digest[:16]
+	if !cacheable(job.Request) {
+		key += "-" + job.ID
+	}
+	return filepath.Join(m.dir, sub, key)
+}
+
+// resultFile returns the served result artifact of a job kind.
+func resultFile(kind string) string {
+	if kind == KindRun {
+		return "result.json"
+	}
+	return experiment.ResultsJSONL
+}
+
+// readCompletion loads a workspace's COMPLETE marker and verifies it names
+// the expected full digest (the directory key is only a 16-hex prefix).
+// The bool reports whether the workspace holds a completed, servable
+// result for exactly that digest.
+func readCompletion(dir, wantDigest string) (completion, bool) {
+	raw, err := os.ReadFile(filepath.Join(dir, completeMarker))
+	if err != nil {
+		return completion{}, false
+	}
+	var c completion
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return completion{}, false
+	}
+	if c.Digest != wantDigest {
+		return completion{}, false
+	}
+	if _, err := os.Stat(filepath.Join(dir, c.ResultFile)); err != nil {
+		return completion{}, false
+	}
+	return c, true
+}
+
+// writeCompletion atomically publishes a workspace's COMPLETE marker. The
+// rename inside writeFileAtomic is the commit point: a crash before it
+// leaves the workspace resumable, never half-cached.
+func writeCompletion(dir string, c completion) error {
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, completeMarker), append(raw, '\n'))
+}
+
+// writeFileAtomic writes path via a temp file and rename.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readResult opens a job's stored result artifact.
+func (m *Manager) readResult(job *Job) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(m.workspace(job), resultFile(job.Kind)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("serve: job %s has no stored result yet", job.ID)
+	}
+	return data, err
+}

@@ -1,0 +1,134 @@
+// Package serve is the simulation-as-a-service layer: an HTTP job manager
+// over the experiment and runner engines. A client POSTs a job — a full
+// scenario sweep (experiment.Spec) or a single run (runner.Options) — and
+// the manager executes it on a bounded worker pool with per-job
+// cancellation, streams mid-run snapshots as NDJSON, persists every sweep
+// through the experiment JSONL journal (so a restarted server resumes
+// incomplete sweeps exactly like `sops resume`), and serves repeat
+// submissions from a content-addressed result cache keyed by the canonical
+// spec digest. `sops serve` is the CLI front; DESIGN.md documents the job
+// lifecycle, digest scheme, and store layout.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"sops/internal/experiment"
+	"sops/internal/runner"
+)
+
+// Job kinds.
+const (
+	// KindSweep executes an experiment.Spec through the resumable sweep
+	// engine: journaled, restart-safe, cacheable.
+	KindSweep = "sweep"
+	// KindRun executes a single runner.Options simulation; cacheable when
+	// deterministic (Workers ≤ 1).
+	KindRun = "run"
+)
+
+// Job states. pending → running → done | failed | canceled. A server
+// shutdown returns running jobs to pending so the next Open resumes them.
+const (
+	StatePending  = "pending"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// JobRequest is the POST /v1/jobs body. Exactly one of Spec and Run must be
+// set; Kind may be omitted (it is inferred from which one is).
+type JobRequest struct {
+	// Kind is KindSweep or KindRun.
+	Kind string `json:"kind,omitempty"`
+	// Spec declares a sweep job. It is normalized at submission, so the
+	// stored request is the sweep's canonical identity.
+	Spec *experiment.Spec `json:"spec,omitempty"`
+	// Run declares a single-run job; normalized at submission.
+	Run *runner.Options `json:"run,omitempty"`
+	// SVG asks run jobs to render an SVG into every streamed snapshot
+	// frame (runner.Options.SnapshotSVG spelled at the job level).
+	SVG bool `json:"svg,omitempty"`
+}
+
+// normalize validates the request, infers Kind, and canonicalizes the
+// embedded spec/options in place.
+func (r *JobRequest) normalize() error {
+	switch {
+	case r.Spec != nil && r.Run != nil:
+		return fmt.Errorf("serve: a job is either a sweep or a run, not both")
+	case r.Spec != nil:
+		if r.Kind == "" {
+			r.Kind = KindSweep
+		}
+		if r.Kind != KindSweep {
+			return fmt.Errorf("serve: kind %q does not take a sweep spec", r.Kind)
+		}
+		norm, err := experiment.Normalize(*r.Spec)
+		if err != nil {
+			return err
+		}
+		*r.Spec = norm
+	case r.Run != nil:
+		if r.Kind == "" {
+			r.Kind = KindRun
+		}
+		if r.Kind != KindRun {
+			return fmt.Errorf("serve: kind %q does not take run options", r.Kind)
+		}
+		r.Run.SnapshotFunc = nil
+		r.Run.Interrupt = nil
+		if r.SVG {
+			r.Run.SnapshotSVG = true
+		}
+		norm, err := r.Run.Normalized()
+		if err != nil {
+			return err
+		}
+		*r.Run = norm
+	default:
+		return fmt.Errorf("serve: job request needs a sweep spec or run options")
+	}
+	return nil
+}
+
+// Job is the REST representation of one submitted job — what GET
+// /v1/jobs/{id} returns and what the manager persists per job under
+// jobs/<id>.json in the store.
+type Job struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	// Digest is the content address of the job's workload; identical
+	// digests are served from the result cache without re-simulation.
+	Digest  string     `json:"digest"`
+	Request JobRequest `json:"request"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Error is the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// CacheHit marks a job whose result was served from the store.
+	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// Sweep progress. TasksRun counts tasks simulated by this job,
+	// TasksReplayed tasks restored from the journal (resume), TasksFailed
+	// failed replications.
+	TasksTotal    int `json:"tasks_total,omitempty"`
+	TasksRun      int `json:"tasks_run,omitempty"`
+	TasksReplayed int `json:"tasks_replayed,omitempty"`
+	TasksFailed   int `json:"tasks_failed,omitempty"`
+	// Frames counts the frames in the job's in-memory stream log. It is 0
+	// for terminal jobs whose history has been offloaded to the store
+	// (completed run jobs, jobs recovered after a restart) until a client
+	// streams them, which rehydrates the log.
+	Frames int `json:"frames"`
+}

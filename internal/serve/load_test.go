@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRaceLoad100Clients drives one job manager with 100 concurrent HTTP
+// clients mixing submissions (a handful of distinct digests, so the cache,
+// the single-flight locks, and the streams all contend), job reads,
+// listing, streaming, and metrics. The test's real assertion is the race
+// detector (the CI race job runs the package under -race); the functional
+// checks at the end make sure nothing was silently dropped.
+func TestRaceLoad100Clients(t *testing.T) {
+	s, ts := newTestServer(t, Options{Jobs: 4, TaskWorkers: 2, QueueDepth: 2048})
+	base := ts.URL
+	client := ts.Client()
+	client.Timeout = 60 * time.Second
+
+	const clients = 100
+	const distinctSpecs = 5 // 20 clients per digest: heavy cache contention
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	ids := make(chan string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				errs <- fmt.Errorf("client %d: "+format, append([]any{c}, args...)...)
+			}
+			spec := &struct {
+				Scenario      string    `json:"scenario"`
+				Lambdas       []float64 `json:"lambdas"`
+				Sizes         []int     `json:"sizes"`
+				Engines       []string  `json:"engines"`
+				Iterations    uint64    `json:"iterations"`
+				SnapshotEvery uint64    `json:"snapshot_every"`
+				Reps          int       `json:"reps"`
+				Seed          uint64    `json:"seed"`
+			}{
+				Scenario: "compress", Lambdas: []float64{4}, Sizes: []int{6},
+				Engines: []string{"chain"}, Iterations: 1200, SnapshotEvery: 400,
+				Reps: 1, Seed: uint64(100 + c%distinctSpecs),
+			}
+			body, _ := json.Marshal(map[string]any{"spec": spec})
+			resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fail("submit: %v", err)
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				fail("submit status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			var job Job
+			if err := json.Unmarshal(raw, &job); err != nil {
+				fail("decode: %v", err)
+				return
+			}
+			ids <- job.ID
+
+			// Every client follows its job's stream to the done frame…
+			sresp, err := client.Get(base + "/v1/jobs/" + job.ID + "/stream")
+			if err != nil {
+				fail("stream: %v", err)
+				return
+			}
+			sraw, err := io.ReadAll(sresp.Body)
+			sresp.Body.Close()
+			if err != nil {
+				fail("stream read: %v", err)
+				return
+			}
+			if !bytes.Contains(sraw, []byte(`"type":"done"`)) {
+				fail("stream missing done frame: %q", sraw)
+				return
+			}
+			// …then mixes reads while others are still running.
+			for _, path := range []string{"/v1/jobs/" + job.ID, "/v1/jobs", "/metrics", "/v1/jobs/" + job.ID + "/result"} {
+				r, err := client.Get(base + path)
+				if err != nil {
+					fail("GET %s: %v", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, r.Body)
+				r.Body.Close()
+				if r.StatusCode != http.StatusOK {
+					fail("GET %s: status %d", path, r.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	close(ids)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every job finished done; at most distinctSpecs digests ever simulated.
+	done := 0
+	for id := range ids {
+		job, ok := s.Manager().Job(id)
+		if !ok {
+			t.Fatalf("job %s lost", id)
+		}
+		if job.State != StateDone {
+			t.Fatalf("job %s ended %q: %s", id, job.State, job.Error)
+		}
+		done++
+	}
+	if done != clients {
+		t.Fatalf("%d jobs accounted, want %d", done, clients)
+	}
+	m := metricsMap(t, base)
+	if m["tasks_run"] != distinctSpecs {
+		t.Errorf("tasks_run = %d, want %d (everything else must come from the cache)", m["tasks_run"], distinctSpecs)
+	}
+	if m["cache_hits"] != clients-distinctSpecs {
+		t.Errorf("cache_hits = %d, want %d", m["cache_hits"], clients-distinctSpecs)
+	}
+	if m["jobs_completed"] != clients {
+		t.Errorf("jobs_completed = %d, want %d", m["jobs_completed"], clients)
+	}
+}
+
+// TestStreamFollowersSeeIdenticalHistory: concurrent followers of one
+// stream — some subscribed before frames exist, some after the stream
+// closed — all observe the same byte sequence.
+func TestStreamFollowersSeeIdenticalHistory(t *testing.T) {
+	st := newStream()
+	results := make(chan string, 8)
+	follow := func() {
+		var buf bytes.Buffer
+		if err := st.follow(t.Context(), func(line []byte) error {
+			buf.Write(line)
+			buf.WriteByte('\n')
+			return nil
+		}); err != nil {
+			results <- "err: " + err.Error()
+			return
+		}
+		results <- buf.String()
+	}
+	for i := 0; i < 4; i++ {
+		go follow()
+	}
+	for i := 0; i < 50; i++ {
+		st.publish(Frame{Type: FrameSnapshot})
+	}
+	st.publish(Frame{Type: FrameDone, State: StateDone})
+	st.close()
+	for i := 0; i < 4; i++ {
+		go follow() // late subscribers replay the closed stream
+	}
+	want := ""
+	for i := 0; i < 8; i++ {
+		got := <-results
+		if want == "" {
+			want = got
+		}
+		if got != want {
+			t.Fatalf("follower %d saw a different history", i)
+		}
+	}
+	if got := st.len(); got != 51 {
+		t.Fatalf("stream holds %d frames, want 51", got)
+	}
+}
+
+// mini HTTP sanity for the test server helper itself (catches handler
+// panics under the race detector's scheduler).
+func TestServerHandlesBurstListing(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/jobs")
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}

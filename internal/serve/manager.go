@@ -1,0 +1,740 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sops/internal/experiment"
+	"sops/internal/runner"
+)
+
+// Options configures a Manager (and through it a Server).
+type Options struct {
+	// Dir is the store directory: job records, journals, and cached
+	// results live there, and a manager reopened over the same directory
+	// resumes its incomplete jobs. Required.
+	Dir string
+	// Jobs bounds how many jobs execute concurrently (the job-level worker
+	// pool); values < 1 mean 2.
+	Jobs int
+	// TaskWorkers is the per-sweep worker pool handed to experiment.Run;
+	// values < 1 mean GOMAXPROCS.
+	TaskWorkers int
+	// QueueDepth bounds the pending-job queue; Submit fails once it is
+	// full. Values < 1 mean 256.
+	QueueDepth int
+}
+
+// handle pairs a job record with its execution state.
+type handle struct {
+	mu     sync.Mutex
+	job    Job
+	stream *stream
+	// cancel interrupts the running job; nil until execution starts.
+	cancel context.CancelFunc
+	// canceled records a client cancellation (vs a server shutdown).
+	canceled bool
+	// coldStream marks a terminal job whose frame history lives in the
+	// store, not in memory — set for jobs recovered from a previous
+	// process and for completed run jobs once their frames are persisted.
+	// The first Stream call hydrates it, so neither restart cost nor
+	// resident memory scales with the store's history.
+	coldStream bool
+}
+
+// locked views and updates; callers hold h.mu or use these helpers.
+
+func (h *handle) view() Job {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	j := h.job
+	j.Frames = h.stream.len()
+	return j
+}
+
+// Manager owns the job table, the bounded execution pool, and the store.
+type Manager struct {
+	dir         string
+	taskWorkers int
+
+	ctx    context.Context
+	stop   context.CancelFunc
+	queue  chan *handle
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	mu      sync.Mutex
+	jobs    map[string]*handle
+	order   []string // submission order, for listing
+	seq     int
+	closing bool
+	// digestLocks single-flights execution per content digest so two
+	// identical jobs never race one journal; the loser rechecks the cache
+	// and replays.
+	digestLocks map[string]*sync.Mutex
+
+	// counters back /metrics. tasksRun is the work counter the cache
+	// tests assert against: it moves only when a simulation task actually
+	// executes.
+	counters *expvar.Map
+	tasksRun *expvar.Int
+}
+
+// Open loads (or initializes) a store directory, requeues every incomplete
+// job found in it — the crash-recovery path — and starts the execution
+// pool.
+func Open(opt Options) (*Manager, error) {
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("serve: Options.Dir is required")
+	}
+	if opt.Jobs < 1 {
+		opt.Jobs = 2
+	}
+	if opt.TaskWorkers < 1 {
+		opt.TaskWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opt.QueueDepth < 1 {
+		opt.QueueDepth = 256
+	}
+	for _, sub := range []string{"jobs", "exp", "run"} {
+		if err := os.MkdirAll(filepath.Join(opt.Dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: creating store: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		dir:         opt.Dir,
+		taskWorkers: opt.TaskWorkers,
+		ctx:         ctx,
+		stop:        cancel,
+		closed:      make(chan struct{}),
+		jobs:        map[string]*handle{},
+		digestLocks: map[string]*sync.Mutex{},
+		counters:    new(expvar.Map).Init(),
+	}
+	m.tasksRun = new(expvar.Int)
+	m.counters.Set("tasks_run", m.tasksRun)
+	for _, name := range []string{"jobs_submitted", "jobs_completed", "jobs_failed", "jobs_canceled", "cache_hits", "snapshots_streamed"} {
+		m.counters.Set(name, new(expvar.Int))
+	}
+
+	recovered, err := m.loadRecords()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// The queue must hold every recovered job plus headroom, or recovery
+	// would deadlock before the pool starts.
+	m.queue = make(chan *handle, opt.QueueDepth+len(recovered))
+	for _, h := range recovered {
+		m.queue <- h
+	}
+	for i := 0; i < opt.Jobs; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// loadRecords scans jobs/*.json, rebuilding the in-memory table. Jobs left
+// pending or running by a previous process are reset to pending and
+// returned for requeueing — their journals resume exactly like
+// `sops resume`.
+func (m *Manager) loadRecords() ([]*handle, error) {
+	entries, err := os.ReadDir(filepath.Join(m.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // IDs are zero-padded, so this is submission order
+	var requeue []*handle
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(m.dir, "jobs", name))
+		if err != nil {
+			return nil, err
+		}
+		var job Job
+		if err := json.Unmarshal(raw, &job); err != nil {
+			return nil, fmt.Errorf("serve: corrupt job record %s: %w", name, err)
+		}
+		h := &handle{job: job, stream: newStream()}
+		if terminal(job.State) {
+			// Finished before the restart: the stream replays the stored
+			// frames and terminal frame lazily, on first request.
+			h.coldStream = true
+		} else {
+			h.job.State = StatePending
+			h.job.StartedAt = nil
+			requeue = append(requeue, h)
+		}
+		m.jobs[job.ID] = h
+		m.order = append(m.order, job.ID)
+		if n := idSeq(job.ID); n >= m.seq {
+			m.seq = n + 1
+		}
+	}
+	return requeue, nil
+}
+
+// Submit validates, records, and enqueues a job. The returned Job is the
+// accepted record (state pending).
+func (m *Manager) Submit(req JobRequest) (Job, error) {
+	if err := req.normalize(); err != nil {
+		return Job{}, err
+	}
+	digest, err := jobDigest(req)
+	if err != nil {
+		return Job{}, err
+	}
+	job := Job{
+		Kind:        req.Kind,
+		State:       StatePending,
+		Digest:      digest,
+		Request:     req,
+		SubmittedAt: time.Now().UTC(),
+	}
+	if req.Kind == KindSweep {
+		if n, err := experiment.TaskCount(*req.Spec); err == nil {
+			job.TasksTotal = n
+		}
+	} else {
+		job.TasksTotal = 1
+	}
+	h := &handle{stream: newStream()}
+
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return Job{}, fmt.Errorf("serve: manager is shutting down")
+	}
+	job.ID = fmt.Sprintf("j%08d", m.seq)
+	m.seq++
+	h.job = job
+	m.jobs[job.ID] = h
+	m.order = append(m.order, job.ID)
+	m.mu.Unlock()
+
+	if err := m.persist(h); err != nil {
+		// An unpersistable job must not linger pending in the table: it
+		// was never enqueued and would list (and stream) forever.
+		m.mu.Lock()
+		delete(m.jobs, job.ID)
+		for i, oid := range m.order {
+			if oid == job.ID {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		return Job{}, err
+	}
+	select {
+	case m.queue <- h:
+	default:
+		h.mu.Lock()
+		h.job.State = StateFailed
+		h.job.Error = "job queue full"
+		now := time.Now().UTC()
+		h.job.FinishedAt = &now
+		h.mu.Unlock()
+		_ = m.persist(h)
+		h.stream.publish(Frame{Type: FrameDone, State: StateFailed, Error: "job queue full"})
+		h.stream.close()
+		m.add("jobs_failed", 1)
+		return Job{}, fmt.Errorf("serve: job queue full (%d pending)", cap(m.queue))
+	}
+	m.add("jobs_submitted", 1)
+	return h.view(), nil
+}
+
+// Job returns the current record of one job.
+func (m *Manager) Job(id string) (Job, bool) {
+	m.mu.Lock()
+	h, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, false
+	}
+	return h.view(), true
+}
+
+// Jobs lists every job in submission order.
+func (m *Manager) Jobs() []Job {
+	m.mu.Lock()
+	hs := make([]*handle, 0, len(m.order))
+	for _, id := range m.order {
+		hs = append(hs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Job, len(hs))
+	for i, h := range hs {
+		out[i] = h.view()
+	}
+	return out
+}
+
+// Cancel stops a pending or running job. Cancelling a terminal job is a
+// no-op returning its final record.
+func (m *Manager) Cancel(id string) (Job, error) {
+	m.mu.Lock()
+	h, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("serve: unknown job %q", id)
+	}
+	h.mu.Lock()
+	switch h.job.State {
+	case StatePending:
+		// The queued handle stays in the channel; the worker skips
+		// non-pending jobs when it dequeues them.
+		h.job.State = StateCanceled
+		now := time.Now().UTC()
+		h.job.FinishedAt = &now
+		h.mu.Unlock()
+		_ = m.persist(h)
+		h.stream.publish(Frame{Type: FrameDone, State: StateCanceled})
+		h.stream.close()
+		m.add("jobs_canceled", 1)
+	case StateRunning:
+		h.canceled = true
+		cancel := h.cancel
+		h.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		h.mu.Unlock()
+	}
+	j, _ := m.Job(id)
+	return j, nil
+}
+
+// Delete removes a terminal job's record; active jobs are cancelled
+// instead (the record stays until a later delete).
+func (m *Manager) Delete(id string) (Job, bool, error) {
+	m.mu.Lock()
+	h, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, false, fmt.Errorf("serve: unknown job %q", id)
+	}
+	h.mu.Lock()
+	isTerminal := terminal(h.job.State)
+	h.mu.Unlock()
+	if !isTerminal {
+		j, err := m.Cancel(id)
+		return j, false, err
+	}
+	m.mu.Lock()
+	delete(m.jobs, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	if err := os.Remove(m.recordPath(id)); err != nil && !os.IsNotExist(err) {
+		return Job{}, false, err
+	}
+	return h.view(), true, nil
+}
+
+// Stream returns the frame stream of a job, hydrating a cold terminal
+// job's history from the store on first access.
+func (m *Manager) Stream(id string) (*stream, bool) {
+	m.mu.Lock()
+	h, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	h.mu.Lock()
+	if h.coldStream {
+		h.coldStream = false
+		job := h.job
+		if job.Kind == KindRun {
+			m.replayStoredFrames(h.stream, &job)
+		}
+		h.stream.publish(Frame{Type: FrameDone, State: job.State, Error: job.Error, CacheHit: job.CacheHit})
+		h.stream.close()
+	}
+	st := h.stream
+	h.mu.Unlock()
+	return st, true
+}
+
+// Result returns the stored result artifact of a job along with its
+// content type.
+func (m *Manager) Result(id string) ([]byte, string, error) {
+	m.mu.Lock()
+	h, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, "", fmt.Errorf("serve: unknown job %q", id)
+	}
+	job := h.view()
+	data, err := m.readResult(&job)
+	if err != nil {
+		return nil, "", err
+	}
+	ct := "application/json"
+	if job.Kind == KindSweep {
+		ct = "application/x-ndjson"
+	}
+	return data, ct, nil
+}
+
+// Metrics returns the counter map backing /metrics.
+func (m *Manager) Metrics() *expvar.Map { return m.counters }
+
+// Close stops accepting jobs, interrupts running ones (sweeps journal
+// their in-flight tasks and return to pending, resuming on the next Open),
+// and waits for the pool to drain.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		<-m.closed
+		return nil
+	}
+	m.closing = true
+	m.mu.Unlock()
+	m.stop()
+	m.wg.Wait()
+	// Close every stream so connected followers drain instead of waiting
+	// forever on jobs that returned to pending — this process will never
+	// finish them; the next Open rebuilds fresh streams from the records.
+	m.mu.Lock()
+	hs := make([]*handle, 0, len(m.jobs))
+	for _, h := range m.jobs {
+		hs = append(hs, h)
+	}
+	m.mu.Unlock()
+	for _, h := range hs {
+		h.mu.Lock()
+		st := h.stream
+		h.mu.Unlock()
+		st.close()
+	}
+	close(m.closed)
+	return nil
+}
+
+// --- execution -------------------------------------------------------------
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case h := <-m.queue:
+			m.execute(h)
+		}
+	}
+}
+
+// execute drives one job from pending to a final state (or back to pending
+// on shutdown).
+func (m *Manager) execute(h *handle) {
+	h.mu.Lock()
+	if h.job.State != StatePending {
+		h.mu.Unlock()
+		return // cancelled while queued
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+	h.cancel = cancel
+	h.job.State = StateRunning
+	now := time.Now().UTC()
+	h.job.StartedAt = &now
+	// Progress counters describe this execution; a record recovered from a
+	// prior process carries its partial counts, which resume reports as
+	// replays instead.
+	h.job.TasksRun, h.job.TasksReplayed, h.job.TasksFailed = 0, 0, 0
+	h.job.Error = ""
+	h.mu.Unlock()
+	_ = m.persist(h)
+
+	var err error
+	switch h.view().Kind {
+	case KindSweep:
+		err = m.runSweep(ctx, h)
+	case KindRun:
+		err = m.runRun(ctx, h)
+	default:
+		err = fmt.Errorf("serve: unknown job kind %q", h.view().Kind)
+	}
+
+	h.mu.Lock()
+	// Only a genuine context cancellation counts as interrupted — a real
+	// failure (journal write error, bad store) that merely races a cancel
+	// or shutdown must surface as failed with its message, not be
+	// swallowed as canceled/pending.
+	interrupted := err != nil && errors.Is(err, context.Canceled)
+	switch {
+	case err == nil:
+		h.job.State = StateDone
+		m.add("jobs_completed", 1)
+	case interrupted && h.canceled:
+		h.job.State = StateCanceled
+		m.add("jobs_canceled", 1)
+	case interrupted:
+		// Server shutdown: the journal holds completed tasks; back to
+		// pending so the next Open requeues and resumes.
+		h.job.State = StatePending
+		h.job.StartedAt = nil
+	default:
+		h.job.State = StateFailed
+		h.job.Error = err.Error()
+		m.add("jobs_failed", 1)
+	}
+	if terminal(h.job.State) {
+		fin := time.Now().UTC()
+		h.job.FinishedAt = &fin
+	}
+	final := h.job
+	h.mu.Unlock()
+	_ = m.persist(h)
+	if terminal(final.State) {
+		h.stream.publish(Frame{Type: FrameDone, State: final.State, Error: final.Error, CacheHit: final.CacheHit})
+		h.stream.close()
+		if final.Kind == KindRun && final.State == StateDone {
+			// The frame history is persisted (frames.ndjson): drop the
+			// in-memory log and rehydrate lazily on demand, exactly as
+			// after a restart, so finished jobs cost no resident memory.
+			h.mu.Lock()
+			h.stream = newStream()
+			h.coldStream = true
+			h.mu.Unlock()
+		}
+	}
+}
+
+// runSweep executes (or cache-serves) a sweep job.
+func (m *Manager) runSweep(ctx context.Context, h *handle) error {
+	job := h.view()
+	dir := m.workspace(&job)
+	if m.tryCached(h, dir) {
+		return nil
+	}
+	lk := m.digestLock(job.Digest)
+	lk.Lock()
+	defer lk.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if m.tryCached(h, dir) {
+		return nil
+	}
+
+	res, err := experiment.Run(ctx, *job.Request.Spec, experiment.RunOptions{
+		Dir:     dir,
+		Workers: m.taskWorkers,
+		OnTask: func(t experiment.Task, mx experiment.Metrics, terr error) {
+			h.mu.Lock()
+			h.job.TasksRun++
+			if terr != nil {
+				h.job.TasksFailed++
+			}
+			h.mu.Unlock()
+			m.tasksRun.Add(1)
+			f := Frame{Type: FrameTask, Point: &t.Point, Rep: t.Rep, Metrics: mx}
+			if terr != nil {
+				f.Error = terr.Error()
+			}
+			h.stream.publish(f)
+		},
+		OnSnapshot: func(t experiment.Task, s runner.Snapshot) {
+			m.add("snapshots_streamed", 1)
+			h.stream.publish(Frame{Type: FrameSnapshot, Point: &t.Point, Rep: t.Rep, Snapshot: &s})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.job.TasksTotal = res.TasksRun + res.TasksReplayed
+	h.job.TasksReplayed = res.TasksReplayed
+	h.job.TasksFailed = res.Failures
+	h.mu.Unlock()
+	return writeCompletion(dir, completion{
+		Digest:      job.Digest,
+		TasksTotal:  res.TasksRun + res.TasksReplayed,
+		TasksFailed: res.Failures,
+		ResultFile:  experiment.ResultsJSONL,
+	})
+}
+
+// runRun executes (or cache-serves) a single-run job.
+func (m *Manager) runRun(ctx context.Context, h *handle) error {
+	job := h.view()
+	dir := m.workspace(&job)
+	if cacheable(job.Request) && m.tryCached(h, dir) {
+		return nil
+	}
+	lk := m.digestLock(job.Digest)
+	lk.Lock()
+	defer lk.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cacheable(job.Request) && m.tryCached(h, dir) {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	opts := *job.Request.Run
+	var frameLines [][]byte
+	opts.SnapshotFunc = func(s runner.Snapshot) {
+		m.add("snapshots_streamed", 1)
+		f := Frame{Type: FrameSnapshot, Snapshot: &s}
+		f.Seq = len(frameLines)
+		line, err := json.Marshal(f)
+		if err != nil {
+			return
+		}
+		frameLines = append(frameLines, line)
+		h.stream.publishRaw(line)
+	}
+	opts.Interrupt = func() bool { return ctx.Err() != nil }
+	res, err := runner.Compress(opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	m.tasksRun.Add(1)
+	h.mu.Lock()
+	h.job.TasksRun = 1
+	h.mu.Unlock()
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, "result.json"), append(raw, '\n')); err != nil {
+		return err
+	}
+	if len(frameLines) > 0 {
+		var buf []byte
+		for _, line := range frameLines {
+			buf = append(buf, line...)
+			buf = append(buf, '\n')
+		}
+		if err := writeFileAtomic(filepath.Join(dir, "frames.ndjson"), buf); err != nil {
+			return err
+		}
+	}
+	if !cacheable(job.Request) {
+		return nil
+	}
+	return writeCompletion(dir, completion{Digest: job.Digest, ResultFile: "result.json"})
+}
+
+// tryCached serves the job from a completed workspace. Returning true means
+// the job is done without any simulation work — the cache hit the digest
+// scheme promises. The stored completion must name the job's full digest:
+// workspaces are keyed by a 16-hex prefix, and serving across a prefix
+// collision (or a hand-copied store directory) would be a silent lie.
+func (m *Manager) tryCached(h *handle, dir string) bool {
+	job := h.view()
+	c, ok := readCompletion(dir, job.Digest)
+	if !ok {
+		return false
+	}
+	h.mu.Lock()
+	h.job.CacheHit = true
+	if c.TasksTotal > 0 {
+		h.job.TasksTotal = c.TasksTotal
+	}
+	h.job.TasksFailed = c.TasksFailed
+	h.mu.Unlock()
+	if job.Kind == KindRun {
+		m.replayStoredFrames(h.stream, &job)
+	}
+	m.add("cache_hits", 1)
+	return true
+}
+
+// replayStoredFrames republishes a run workspace's persisted snapshot
+// frames into st, so a cached or rehydrated job's stream is byte-identical
+// to the original's. st must not be the stream of a handle whose mutex the
+// caller does not hold consistently — publishes synchronize on the stream
+// itself.
+func (m *Manager) replayStoredFrames(st *stream, job *Job) {
+	f, err := os.Open(filepath.Join(m.workspace(job), "frames.ndjson"))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		if len(line) > 0 {
+			st.publishRaw(line)
+		}
+	}
+}
+
+// --- small helpers ---------------------------------------------------------
+
+func (m *Manager) digestLock(digest string) *sync.Mutex {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lk, ok := m.digestLocks[digest]
+	if !ok {
+		lk = &sync.Mutex{}
+		m.digestLocks[digest] = lk
+	}
+	return lk
+}
+
+func (m *Manager) add(counter string, delta int64) {
+	m.counters.Add(counter, delta)
+}
+
+func (m *Manager) recordPath(id string) string {
+	return filepath.Join(m.dir, "jobs", id+".json")
+}
+
+// persist writes the job's current record atomically.
+func (m *Manager) persist(h *handle) error {
+	h.mu.Lock()
+	job := h.job
+	h.mu.Unlock()
+	raw, err := json.MarshalIndent(job, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(m.recordPath(job.ID), append(raw, '\n'))
+}
+
+// idSeq parses the numeric suffix of a job ID; -1 when malformed.
+func idSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return -1
+	}
+	return n
+}

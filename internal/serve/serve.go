@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"sops/internal/experiment"
+)
+
+// Server is the HTTP front of a Manager: the typed REST API plus the
+// streaming endpoint. It implements http.Handler; `sops serve` mounts it on
+// a net/http server, tests on httptest.
+//
+// Routes:
+//
+//	POST   /v1/jobs             submit a job (sweep spec or run options)
+//	GET    /v1/jobs             list jobs in submission order
+//	GET    /v1/jobs/{id}        one job's record and progress
+//	DELETE /v1/jobs/{id}        cancel an active job / delete a finished one
+//	GET    /v1/jobs/{id}/stream NDJSON frames: snapshots, task completions, done
+//	GET    /v1/jobs/{id}/result the stored result artifact (results.jsonl / result.json)
+//	GET    /v1/scenarios        the workload registry with default axes
+//	GET    /healthz             liveness
+//	GET    /metrics             expvar counters (cache_hits, tasks_run, …)
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// New opens the store and starts the job pool behind a ready-to-mount
+// handler.
+func New(opt Options) (*Server, error) {
+	mgr, err := Open(opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.routes()
+	return s, nil
+}
+
+// Manager exposes the job manager, for embedders and tests.
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Close shuts the job pool down; incomplete sweeps journal and resume on
+// the next New over the same directory.
+func (s *Server) Close() error { return s.mgr.Close() }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, s.mgr.Metrics().String())
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job request: %w", err))
+		return
+	}
+	job, err := s.mgr.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	job, deleted, err := s.mgr.Delete(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": job, "deleted": deleted})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	data, ct, err := s.mgr.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleStream follows the job's frame log as NDJSON: the full history
+// first (reconnects replay from frame 0), then live frames until the job
+// reaches a terminal state.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.mgr.Stream(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	newline := []byte{'\n'}
+	_ = st.follow(r.Context(), func(line []byte) error {
+		// The frame slice is shared by every follower of this job: never
+		// append to it (appending would race on its backing array), write
+		// the separator on its own.
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if _, err := w.Write(newline); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+// scenarioInfo is one GET /v1/scenarios entry: the registry row plus the
+// scenario's fully normalized default spec — what a bare
+// {"spec": {"scenario": name}} submission would run.
+type scenarioInfo struct {
+	Name        string          `json:"name"`
+	Description string          `json:"description"`
+	DefaultSpec experiment.Spec `json:"default_spec"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	infos := experiment.List()
+	out := make([]scenarioInfo, 0, len(infos))
+	for _, info := range infos {
+		spec, err := experiment.DefaultSpec(info.Name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, scenarioInfo{Name: info.Name, Description: info.Description, DefaultSpec: spec})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

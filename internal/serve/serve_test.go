@@ -1,0 +1,732 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sops/internal/experiment"
+	"sops/internal/runner"
+)
+
+// newTestServer starts a Server over a fresh store and an httptest
+// listener, closing both at test end.
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// submit posts a job request and decodes the accepted record.
+func submit(t *testing.T, base string, req JobRequest) Job {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	var job Job
+	if err := json.Unmarshal(raw, &job); err != nil {
+		t.Fatalf("submit: decoding %s: %v", raw, err)
+	}
+	return job
+}
+
+// getJob fetches one job record.
+func getJob(t *testing.T, base, id string) Job {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// waitState polls a job until it reaches want (or any terminal state, which
+// then must be want).
+func waitState(t *testing.T, base, id, want string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job := getJob(t, base, id)
+		if job.State == want {
+			return job
+		}
+		if terminal(job.State) {
+			t.Fatalf("job %s reached %q (error %q), want %q", id, job.State, job.Error, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach %q in time", id, want)
+	return Job{}
+}
+
+// streamFrames follows the job's stream to its done frame and returns every
+// decoded frame.
+func streamFrames(t *testing.T, base, id string) []Frame {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var frames []Frame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		var f Frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		frames = append(frames, f)
+		if f.Type == FrameDone {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 || frames[len(frames)-1].Type != FrameDone {
+		t.Fatalf("stream ended without a done frame: %d frames", len(frames))
+	}
+	return frames
+}
+
+// fetchResult grabs the stored result bytes.
+func fetchResult(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d: %s", resp.StatusCode, raw)
+	}
+	return raw
+}
+
+// metricsMap reads /metrics into counter values.
+func metricsMap(t *testing.T, base string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// smallSweep is a fast, fully deterministic one-task compress sweep with
+// snapshots on.
+func smallSweep(seed uint64) *experiment.Spec {
+	return &experiment.Spec{
+		Scenario:      "compress",
+		Lambdas:       []float64{4},
+		Sizes:         []int{10},
+		Engines:       []string{"chain"},
+		Iterations:    6000,
+		SnapshotEvery: 1000,
+		Reps:          1,
+		Seed:          seed,
+	}
+}
+
+// TestSubmitStreamFetchCachedResubmit is the headline e2e: a sweep streams
+// monotone-iteration snapshot frames, its result is fetchable, and an
+// identical resubmission is a cache hit — byte-identical PointSummaries
+// with zero simulation work, asserted by the tasks_run counter.
+func TestSubmitStreamFetchCachedResubmit(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	base := ts.URL
+
+	job := submit(t, base, JobRequest{Spec: smallSweep(5)})
+	if job.Kind != KindSweep || job.Digest == "" || job.TasksTotal != 1 {
+		t.Fatalf("accepted job malformed: %+v", job)
+	}
+
+	frames := streamFrames(t, base, job.ID)
+	var snaps, tasks int
+	lastIter := uint64(0)
+	for _, f := range frames {
+		switch f.Type {
+		case FrameSnapshot:
+			snaps++
+			if f.Snapshot == nil || f.Snapshot.Iteration <= lastIter {
+				t.Fatalf("snapshot iterations not strictly increasing: %+v after %d", f.Snapshot, lastIter)
+			}
+			lastIter = f.Snapshot.Iteration
+			if f.Point == nil || f.Point.Lambda != 4 {
+				t.Fatalf("snapshot frame missing its sweep point: %+v", f)
+			}
+		case FrameTask:
+			tasks++
+			if f.Metrics["alpha"] == 0 {
+				t.Fatalf("task frame missing metrics: %+v", f)
+			}
+		}
+	}
+	if snaps != 6 || tasks != 1 {
+		t.Fatalf("got %d snapshot frames and %d task frames, want 6 and 1", snaps, tasks)
+	}
+	for i, f := range frames {
+		if f.Seq != i {
+			t.Fatalf("frame %d has seq %d", i, f.Seq)
+		}
+	}
+
+	done := waitState(t, base, job.ID, StateDone)
+	if done.CacheHit || done.TasksRun != 1 {
+		t.Fatalf("first execution should simulate: %+v", done)
+	}
+	first := fetchResult(t, base, job.ID)
+	if !bytes.Contains(first, []byte(`"alpha"`)) {
+		t.Fatalf("results.jsonl content unexpected: %s", first)
+	}
+	before := metricsMap(t, base)
+
+	// Identical spec, separately submitted: served from the store.
+	rejob := submit(t, base, JobRequest{Spec: smallSweep(5)})
+	if rejob.ID == job.ID {
+		t.Fatal("resubmission must be a new job")
+	}
+	if rejob.Digest != job.Digest {
+		t.Fatalf("identical specs digest differently: %s vs %s", rejob.Digest, job.Digest)
+	}
+	redone := waitState(t, base, rejob.ID, StateDone)
+	if !redone.CacheHit {
+		t.Fatalf("resubmission should be a cache hit: %+v", redone)
+	}
+	second := fetchResult(t, base, rejob.ID)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached result differs from original:\n%s\nvs\n%s", first, second)
+	}
+	after := metricsMap(t, base)
+	if after["tasks_run"] != before["tasks_run"] {
+		t.Fatalf("cache hit did simulation work: tasks_run %d → %d", before["tasks_run"], after["tasks_run"])
+	}
+	if after["cache_hits"] != before["cache_hits"]+1 {
+		t.Fatalf("cache_hits %d → %d, want +1", before["cache_hits"], after["cache_hits"])
+	}
+	// The cached job's stream still terminates with a marked done frame.
+	cframes := streamFrames(t, base, rejob.ID)
+	if last := cframes[len(cframes)-1]; !last.CacheHit || last.State != StateDone {
+		t.Fatalf("cached done frame: %+v", last)
+	}
+
+	// A different seed is different content: no false sharing.
+	other := submit(t, base, JobRequest{Spec: smallSweep(6)})
+	if other.Digest == job.Digest {
+		t.Fatal("different seeds must digest differently")
+	}
+}
+
+// TestRunJobStreamsSVGAndCachesFrames: run jobs stream SVG-bearing
+// snapshots, persist their frames, and replay them byte-identically on a
+// cache hit.
+func TestRunJobStreamsSVGAndCachesFrames(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	base := ts.URL
+	req := JobRequest{Run: &runner.Options{
+		N: 8, Lambda: 4, Iterations: 3000, Seed: 2, SnapshotEvery: 1000,
+	}, SVG: true}
+
+	job := submit(t, base, req)
+	if job.Kind != KindRun {
+		t.Fatalf("kind %q", job.Kind)
+	}
+	frames := streamFrames(t, base, job.ID)
+	var svgFrames int
+	for _, f := range frames {
+		if f.Type == FrameSnapshot {
+			if !strings.Contains(f.Snapshot.SVG, "<svg") {
+				t.Fatalf("snapshot frame missing SVG: %+v", f)
+			}
+			svgFrames++
+		}
+	}
+	if svgFrames != 3 {
+		t.Fatalf("got %d svg snapshot frames, want 3", svgFrames)
+	}
+	done := waitState(t, base, job.ID, StateDone)
+	if done.TasksRun != 1 {
+		t.Fatalf("run job should report one simulated task: %+v", done)
+	}
+	// Completed run jobs offload their frame history to the store shortly
+	// after the done state lands; streaming rehydrates it from disk. The
+	// offload is observable only on a job nobody streams meanwhile (any
+	// stream request — including one racing the job's fast completion —
+	// refills the log), so assert it on a sibling job left unstreamed.
+	unstreamed := submit(t, base, JobRequest{Run: &runner.Options{
+		N: 8, Lambda: 4, Iterations: 3000, Seed: 77, SnapshotEvery: 1000,
+	}, SVG: true})
+	waitState(t, base, unstreamed.ID, StateDone)
+	offloadDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if j := getJob(t, base, unstreamed.ID); j.Frames == 0 {
+			break
+		}
+		if time.Now().After(offloadDeadline) {
+			t.Fatalf("finished run job never offloaded its frames: %+v", getJob(t, base, unstreamed.ID))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := streamFrames(t, base, unstreamed.ID); len(got) != 4 {
+		t.Fatalf("rehydrated stream has %d frames, want 4 (3 snapshots + done)", len(got))
+	}
+	refetched := streamFrames(t, base, job.ID)
+	if len(refetched) != len(frames) {
+		t.Fatalf("rehydrated stream has %d frames, live had %d", len(refetched), len(frames))
+	}
+	var res runner.Result
+	if err := json.Unmarshal(fetchResult(t, base, job.ID), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 8 || res.Iterations != 3000 || len(res.Points) != 8 {
+		t.Fatalf("stored run result malformed: %+v", res)
+	}
+
+	rejob := submit(t, base, req)
+	redone := waitState(t, base, rejob.ID, StateDone)
+	if !redone.CacheHit {
+		t.Fatalf("identical run should cache-hit: %+v", redone)
+	}
+	reframes := streamFrames(t, base, rejob.ID)
+	if len(reframes) != len(frames) {
+		t.Fatalf("replayed %d frames, original %d", len(reframes), len(frames))
+	}
+	for i, f := range frames {
+		if f.Type != FrameDone && f.Snapshot.SVG != reframes[i].Snapshot.SVG {
+			t.Fatalf("frame %d SVG differs on replay", i)
+		}
+	}
+}
+
+// TestCancelMidRun: DELETE on a running job cancels it; the stream
+// terminates with a canceled done frame and the record is final.
+func TestCancelMidRun(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	base := ts.URL
+	// Big enough to still be running when the cancel lands.
+	spec := &experiment.Spec{
+		Scenario: "compress", Lambdas: []float64{4}, Sizes: []int{60},
+		Engines: []string{"chain"}, Iterations: 40_000_000, SnapshotEvery: 100_000,
+		Reps: 2, Seed: 1,
+	}
+	job := submit(t, base, JobRequest{Spec: spec})
+	waitState(t, base, job.ID, StateRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	canceled := waitState(t, base, job.ID, StateCanceled)
+	if canceled.FinishedAt == nil {
+		t.Fatalf("canceled job missing FinishedAt: %+v", canceled)
+	}
+	frames := streamFrames(t, base, job.ID)
+	if last := frames[len(frames)-1]; last.State != StateCanceled {
+		t.Fatalf("done frame state %q, want canceled", last.State)
+	}
+	// A pending job cancels too (fill the single-job pool first).
+	_, _ = http.Get(base + "/v1/jobs") // keepalive no-op; pool is free again here
+}
+
+// TestRestartResume: a server closed mid-sweep leaves a journal; a new
+// server over the same store requeues the job and finishes it by replaying
+// completed tasks instead of rerunning them — `sops resume` semantics
+// behind the service.
+func TestRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := &experiment.Spec{
+		Scenario: "compress", Lambdas: []float64{3, 4}, Sizes: []int{24},
+		Engines: []string{"chain"}, Iterations: 600_000, Reps: 3, Seed: 9,
+	}
+	s1, err := New(Options{Dir: dir, Jobs: 1, TaskWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s1.Manager().Submit(JobRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for at least one journaled task, then pull the plug.
+	digestDir := filepath.Join(dir, "exp", job.Digest[:16])
+	journal := filepath.Join(digestDir, "journal.jsonl")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(journal); err == nil && bytes.Count(raw, []byte("\n")) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no journal entries before deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s1.Manager().Job(job.ID)
+	if !ok {
+		t.Fatal("job lost at shutdown")
+	}
+	if terminal(got.State) {
+		t.Skipf("sweep finished before shutdown (state %s); resume not exercised", got.State)
+	}
+
+	s2, err := New(Options{Dir: dir, Jobs: 1, TaskWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		j, ok := s2.Manager().Job(job.ID)
+		if !ok {
+			t.Fatal("restarted server does not know the job")
+		}
+		if j.State == StateDone {
+			if j.TasksReplayed < 1 {
+				t.Fatalf("resume replayed no tasks: %+v", j)
+			}
+			if j.TasksRun+j.TasksReplayed != j.TasksTotal || j.TasksTotal != 6 {
+				t.Fatalf("task accounting off after resume: %+v", j)
+			}
+			break
+		}
+		if terminal(j.State) {
+			t.Fatalf("job reached %q after restart: %s", j.State, j.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after restart", j.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := readCompletion(digestDir, job.Digest); !ok {
+		t.Fatal("completed sweep missing COMPLETE marker")
+	}
+	if _, ok := readCompletion(digestDir, "not-the-digest"); ok {
+		t.Fatal("COMPLETE marker served for a foreign digest")
+	}
+	// The resumed result must equal a from-scratch run of the same spec.
+	fresh := t.TempDir()
+	if _, err := experiment.Run(t.Context(), *spec, experiment.RunOptions{Dir: fresh, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(digestDir, experiment.ResultsJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(fresh, experiment.ResultsJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed results.jsonl differs from an uninterrupted run")
+	}
+}
+
+// TestEndpointValidation covers the API's error surface.
+func TestEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	base := ts.URL
+	post := func(body string) (int, string) {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+	for _, tc := range []struct {
+		name, body, wantErr string
+	}{
+		{"empty", `{}`, "sweep spec or run options"},
+		{"both", `{"spec":{"scenario":"compress"},"run":{"n":5,"lambda":4}}`, "not both"},
+		{"unknown scenario", `{"spec":{"scenario":"nope"}}`, "unknown scenario"},
+		{"bad lambda", `{"spec":{"scenario":"compress","lambdas":[-1]}}`, "positive"},
+		{"bad run engine", `{"run":{"n":5,"lambda":4,"engine":"warp"}}`, "unknown engine"},
+		{"bad run n", `{"run":{"n":0,"lambda":4}}`, "N must be positive"},
+		{"unknown field", `{"sepc":{}}`, "unknown field"},
+		{"kind mismatch", `{"kind":"run","spec":{"scenario":"compress"}}`, "does not take"},
+	} {
+		code, body := post(tc.body)
+		if code != http.StatusBadRequest || !strings.Contains(body, tc.wantErr) {
+			t.Errorf("%s: got %d %q, want 400 containing %q", tc.name, code, body, tc.wantErr)
+		}
+	}
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/stream", "/v1/jobs/nope/result"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []scenarioInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	names := map[string]bool{}
+	for _, in := range infos {
+		names[in.Name] = true
+		if in.DefaultSpec.Reps < 1 {
+			t.Errorf("scenario %s default spec not normalized: %+v", in.Name, in.DefaultSpec)
+		}
+	}
+	for _, want := range []string{"compress", "align", "phase", "mixing"} {
+		if !names[want] {
+			t.Errorf("scenario list missing %q", want)
+		}
+	}
+}
+
+// TestListAndDelete: listing preserves submission order; DELETE removes
+// terminal jobs and their records.
+func TestListAndDelete(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	base := ts.URL
+	a := submit(t, base, JobRequest{Spec: smallSweep(11)})
+	b := submit(t, base, JobRequest{Spec: smallSweep(12)})
+	waitState(t, base, a.ID, StateDone)
+	waitState(t, base, b.ID, StateDone)
+
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(jobs) != 2 || jobs[0].ID != a.ID || jobs[1].ID != b.ID {
+		t.Fatalf("listing wrong: %+v", jobs)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+a.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dout struct {
+		Deleted bool `json:"deleted"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&dout); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if !dout.Deleted {
+		t.Fatal("terminal job not deleted")
+	}
+	if _, ok := s.Manager().Job(a.ID); ok {
+		t.Fatal("deleted job still listed")
+	}
+	if _, err := os.Stat(filepath.Join(s.Manager().dir, "jobs", a.ID+".json")); !os.IsNotExist(err) {
+		t.Fatalf("deleted job record still on disk: %v", err)
+	}
+	// The cached workspace survives deletion: resubmission still hits.
+	c := submit(t, base, JobRequest{Spec: smallSweep(11)})
+	if got := waitState(t, base, c.ID, StateDone); !got.CacheHit {
+		t.Fatalf("workspace should outlive job deletion: %+v", got)
+	}
+}
+
+// TestConcurrentFollowersOfOneJob: several clients streaming the same job
+// at once see identical bytes. (Frame slices are shared across followers;
+// under -race this also proves the emit path never mutates them.)
+func TestConcurrentFollowersOfOneJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	base := ts.URL
+	job := submit(t, base, JobRequest{Spec: smallSweep(31)})
+	const followers = 8
+	bodies := make(chan string, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			resp, err := http.Get(base + "/v1/jobs/" + job.ID + "/stream")
+			if err != nil {
+				bodies <- "err: " + err.Error()
+				return
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				bodies <- "err: " + err.Error()
+				return
+			}
+			bodies <- string(raw)
+		}()
+	}
+	want := ""
+	for i := 0; i < followers; i++ {
+		got := <-bodies
+		if strings.HasPrefix(got, "err: ") {
+			t.Fatal(got)
+		}
+		if want == "" {
+			want = got
+		}
+		if got != want {
+			t.Fatalf("follower %d saw a different stream", i)
+		}
+	}
+	if !strings.Contains(want, `"type":"done"`) {
+		t.Fatal("streams missing the done frame")
+	}
+}
+
+// TestNonCacheableRunsDoNotShareWorkspace: nondeterministic run jobs
+// (amoebot, Workers > 1) own per-job workspaces — an identical later job
+// must not overwrite an earlier job's stored result — and never enter the
+// cache.
+func TestNonCacheableRunsDoNotShareWorkspace(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	base := ts.URL
+	req := JobRequest{Run: &runner.Options{
+		N: 8, Lambda: 4, Iterations: 2000, Seed: 2,
+		Engine: runner.EngineAmoebot, Workers: 2,
+	}}
+	a := submit(t, base, req)
+	b := submit(t, base, req)
+	if a.Digest != b.Digest {
+		t.Fatalf("identical options must digest equally: %s vs %s", a.Digest, b.Digest)
+	}
+	da := waitState(t, base, a.ID, StateDone)
+	db := waitState(t, base, b.ID, StateDone)
+	if da.CacheHit || db.CacheHit {
+		t.Fatalf("nondeterministic runs must never cache-hit: %+v %+v", da, db)
+	}
+	ja, jb := da, db
+	wa, wb := s.Manager().workspace(&ja), s.Manager().workspace(&jb)
+	if wa == wb {
+		t.Fatalf("both jobs share workspace %s", wa)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		var res runner.Result
+		if err := json.Unmarshal(fetchResult(t, base, id), &res); err != nil {
+			t.Fatalf("job %s result: %v", id, err)
+		}
+		if res.N != 8 {
+			t.Fatalf("job %s stored a foreign result: %+v", id, res)
+		}
+	}
+	if m := metricsMap(t, base); m["cache_hits"] != 0 {
+		t.Fatalf("cache_hits = %d for uncacheable jobs", m["cache_hits"])
+	}
+}
+
+// TestRestartStreamsRecoveredJob: a job finished before a restart still
+// streams after it — history hydrated lazily from the store, frames
+// included for run jobs.
+func TestRestartStreamsRecoveredJob(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+	job := submit(t, ts1.URL, JobRequest{Run: &runner.Options{
+		N: 8, Lambda: 4, Iterations: 2000, Seed: 4, SnapshotEvery: 1000,
+	}})
+	waitState(t, ts1.URL, job.ID, StateDone)
+	before := streamFrames(t, ts1.URL, job.ID)
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer func() { ts2.Close(); s2.Close() }()
+	after := streamFrames(t, ts2.URL, job.ID)
+	if len(after) != len(before) {
+		t.Fatalf("recovered stream has %d frames, original %d", len(after), len(before))
+	}
+	for i, f := range before {
+		if f.Type == FrameSnapshot && *after[i].Snapshot != *f.Snapshot {
+			t.Fatalf("recovered frame %d differs: %+v vs %+v", i, after[i].Snapshot, f.Snapshot)
+		}
+	}
+	if last := after[len(after)-1]; last.Type != FrameDone || last.State != StateDone {
+		t.Fatalf("recovered stream terminal frame: %+v", last)
+	}
+}
+
+// TestWorkCounterAdvancesOnRealWork pins the other direction of the
+// cache assertion: distinct specs do simulate.
+func TestWorkCounterAdvancesOnRealWork(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	base := ts.URL
+	before := metricsMap(t, base)
+	job := submit(t, base, JobRequest{Spec: smallSweep(21)})
+	waitState(t, base, job.ID, StateDone)
+	after := metricsMap(t, base)
+	if after["tasks_run"] != before["tasks_run"]+1 {
+		t.Fatalf("tasks_run %d → %d, want +1", before["tasks_run"], after["tasks_run"])
+	}
+	if fmt.Sprint(after["jobs_completed"]) == fmt.Sprint(before["jobs_completed"]) {
+		t.Fatal("jobs_completed did not advance")
+	}
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+
+	"sops/internal/experiment"
+	"sops/internal/runner"
+)
+
+// Frame types of the streaming endpoint.
+const (
+	// FrameSnapshot carries one runner.Snapshot taken mid-run. Sweep-job
+	// frames also carry the task's sweep point and replication index;
+	// within one task, snapshot iterations are strictly increasing.
+	FrameSnapshot = "snapshot"
+	// FrameTask reports one completed sweep task with its metrics.
+	FrameTask = "task"
+	// FrameDone is the terminal frame of every stream: the job's final
+	// state. After it the stream closes.
+	FrameDone = "done"
+)
+
+// Frame is one NDJSON line of GET /v1/jobs/{id}/stream.
+type Frame struct {
+	Type string `json:"type"`
+	// Seq is the frame's index in the job's stream, monotone from 0;
+	// reconnecting clients replay the full history in order.
+	Seq int `json:"seq"`
+	// Point and Rep identify the sweep task a snapshot or task frame
+	// belongs to (sweep jobs only).
+	Point *experiment.Point `json:"point,omitempty"`
+	Rep   int               `json:"rep,omitempty"`
+	// Snapshot is the mid-run measurement of a snapshot frame.
+	Snapshot *runner.Snapshot `json:"snapshot,omitempty"`
+	// Metrics are the completed task's measurements (task frames).
+	Metrics experiment.Metrics `json:"metrics,omitempty"`
+	// Error is a failed task's message (task frames) or the job error
+	// (done frames of failed jobs).
+	Error string `json:"error,omitempty"`
+	// State is the job's final state (done frames).
+	State string `json:"state,omitempty"`
+	// CacheHit marks a done frame served from the result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// stream is an append-only broadcast log of encoded frames. Publishers
+// append; any number of subscribers replay from the start and then follow
+// live until the stream closes. Frames are stored encoded (without the
+// trailing newline) so a frame is marshaled once however many clients
+// watch.
+type stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames [][]byte
+	closed bool
+}
+
+func newStream() *stream {
+	s := &stream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// publish encodes f (stamping its Seq) and appends it. Publishing to a
+// closed stream is a no-op so late engine callbacks cannot corrupt a
+// finished job's history.
+func (s *stream) publish(f Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	f.Seq = len(s.frames)
+	line, err := json.Marshal(f)
+	if err != nil {
+		// Frames are built from plain data types; a marshal failure is a
+		// programmer error, but dropping the frame beats killing the job.
+		return
+	}
+	s.frames = append(s.frames, line)
+	s.cond.Broadcast()
+}
+
+// publishRaw appends an already-encoded frame line (cached-job replay).
+func (s *stream) publishRaw(line []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.frames = append(s.frames, line)
+	s.cond.Broadcast()
+}
+
+// close ends the stream; followers drain and return.
+func (s *stream) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// len returns the number of frames published so far.
+func (s *stream) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frames)
+}
+
+// follow delivers every frame from the beginning to emit, blocking for new
+// ones until the stream closes or ctx is done. It returns nil after a full
+// drain of a closed stream, ctx.Err() on cancellation, or emit's error.
+func (s *stream) follow(ctx context.Context, emit func([]byte) error) error {
+	// A canceled client must wake the cond wait; AfterFunc broadcasts on
+	// cancellation and is released when follow returns.
+	stop := context.AfterFunc(ctx, s.cond.Broadcast)
+	defer stop()
+	i := 0
+	for {
+		s.mu.Lock()
+		for i >= len(s.frames) && !s.closed && ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		batch := s.frames[i:len(s.frames):len(s.frames)]
+		closed := s.closed
+		s.mu.Unlock()
+		for _, line := range batch {
+			if err := emit(line); err != nil {
+				return err
+			}
+			i++
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if closed && len(batch) == 0 {
+			return nil
+		}
+	}
+}

@@ -2,7 +2,6 @@ package viz
 
 import (
 	"fmt"
-	"strings"
 
 	"sops/internal/config"
 	"sops/internal/lattice"
@@ -14,10 +13,18 @@ import (
 // show "particles in a line with edges drawn"). Marked points (e.g. crashed
 // particles) are drawn hollow.
 func SVG(c *config.Config, marked map[lattice.Point]bool) string {
+	return string(AppendSVG(nil, c, marked))
+}
+
+// AppendSVG appends the SVG document to buf and returns the extended slice.
+// It is the allocation-frugal path behind SVG: a caller rendering one frame
+// per snapshot (sops serve streaming) passes buf[:0] of a reused slice so
+// the per-frame cost is the formatting alone, not a rebuilt builder.
+func AppendSVG(buf []byte, c *config.Config, marked map[lattice.Point]bool) []byte {
 	const scale = 20.0
 	const margin = 30.0
 	if c.N() == 0 {
-		return `<svg xmlns="http://www.w3.org/2000/svg" width="40" height="40"></svg>`
+		return append(buf, `<svg xmlns="http://www.w3.org/2000/svg" width="40" height="40"></svg>`...)
 	}
 	pts := c.Points()
 	minX, minY := 1e18, 1e18
@@ -36,10 +43,9 @@ func SVG(c *config.Config, marked map[lattice.Point]bool) string {
 		return (x-minX)*scale + margin, height - ((y-minY)*scale + margin)
 	}
 
-	var b strings.Builder
-	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+	buf = fmt.Appendf(buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
 		width, height, width, height)
-	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	buf = append(buf, `<rect width="100%" height="100%" fill="white"/>`+"\n"...)
 	// Edges first so circles draw over them; directions 0..2 cover each
 	// undirected edge once.
 	for _, p := range pts {
@@ -50,20 +56,19 @@ func SVG(c *config.Config, marked map[lattice.Point]bool) string {
 			}
 			x1, y1 := tx(p)
 			x2, y2 := tx(q)
-			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="1.5"/>`+"\n",
+			buf = fmt.Appendf(buf, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="1.5"/>`+"\n",
 				x1, y1, x2, y2)
 		}
 	}
 	for _, p := range pts {
 		x, y := tx(p)
 		if marked[p] {
-			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="6" fill="white" stroke="black" stroke-width="2"/>`+"\n", x, y)
+			buf = fmt.Appendf(buf, `<circle cx="%.1f" cy="%.1f" r="6" fill="white" stroke="black" stroke-width="2"/>`+"\n", x, y)
 		} else {
-			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="6" fill="black"/>`+"\n", x, y)
+			buf = fmt.Appendf(buf, `<circle cx="%.1f" cy="%.1f" r="6" fill="black"/>`+"\n", x, y)
 		}
 	}
-	b.WriteString("</svg>\n")
-	return b.String()
+	return append(buf, "</svg>\n"...)
 }
 
 func minf(a, b float64) float64 {

@@ -7,6 +7,7 @@ import (
 	"sops/internal/experiment"
 	"sops/internal/metrics"
 	"sops/internal/runner"
+	"sops/internal/serve"
 )
 
 // StartShape selects the initial configuration of a run.
@@ -128,3 +129,32 @@ func Scenarios() []ScenarioInfo { return experiment.List() }
 // LoadExperimentSpec reads the spec recorded in an experiment directory,
 // enabling `sops resume`-style continuation from code.
 func LoadExperimentSpec(dir string) (ExperimentSpec, error) { return experiment.LoadSpec(dir) }
+
+// NormalizeExperimentSpec returns the canonical form of a spec — scenario
+// defaults applied, axes filled, validated — the identity Run journals and
+// the serve cache digests.
+func NormalizeExperimentSpec(spec ExperimentSpec) (ExperimentSpec, error) {
+	return experiment.Normalize(spec)
+}
+
+// ExperimentDigest returns the content address of a spec: a hex SHA-256
+// over a versioned canonical encoding of the normalized spec. Equal digests
+// guarantee byte-identical PointSummaries; the `sops serve` result cache is
+// keyed on it.
+func ExperimentDigest(spec ExperimentSpec) (string, error) { return experiment.Digest(spec) }
+
+// The serve API: `sops serve` as a library. A JobServer is an http.Handler
+// exposing the job manager (bounded pool, per-job cancellation, journal-
+// backed restart resume), the NDJSON snapshot stream, and the content-
+// addressed result cache over a store directory.
+
+// ServeOptions configures a JobServer; see internal/serve.Options.
+type ServeOptions = serve.Options
+
+// JobServer is the simulation service: POST /v1/jobs, streaming, cache.
+type JobServer = serve.Server
+
+// NewJobServer opens (or resumes) the store directory and starts the job
+// pool behind a ready-to-mount handler. Close it to shut the pool down;
+// incomplete sweeps journal and resume on the next NewJobServer.
+func NewJobServer(opt ServeOptions) (*JobServer, error) { return serve.New(opt) }
