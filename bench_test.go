@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"sops"
@@ -291,6 +292,49 @@ func BenchmarkExperimentSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(alpha, "final_alpha_lambda6")
+}
+
+// BenchmarkSweepParallel measures sweep throughput against the worker-pool
+// size. Each op executes the same 12-task compress sweep (λ × engine ×
+// rep grid, no journal); workers carry per-worker arenas, so the parallel
+// efficiency reported here is the scheduling + arena overhead, not
+// allocator contention. steps/s is Metropolis-equivalent iterations
+// executed per wall-clock second across the pool.
+func BenchmarkSweepParallel(b *testing.B) {
+	const iters = 50_000
+	spec := sops.ExperimentSpec{
+		Scenario:   "compress",
+		Lambdas:    []float64{2, 4, 6},
+		Sizes:      []int{30},
+		Engines:    []string{"chain", "kmc"},
+		Iterations: iters,
+		Reps:       2,
+		Seed:       1,
+	}
+	tasks := len(spec.Lambdas) * len(spec.Engines) * spec.Reps
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > counts[len(counts)-1] {
+		counts = append(counts, g)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sops.RunExperiment(context.Background(), spec,
+					sops.ExperimentOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TasksRun != tasks {
+					b.Fatalf("ran %d tasks, want %d", res.TasksRun, tasks)
+				}
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(tasks*iters)*float64(b.N)/sec, "steps/s")
+				b.ReportMetric(float64(tasks)*float64(b.N)/sec, "tasks/s")
+			}
+		})
+	}
 }
 
 // BenchmarkCompressEngines races the Metropolis grid engine against the

@@ -23,6 +23,7 @@ func cmdRun(args []string) error {
 		ruleName  = fs.String("rule", sops.RuleCompression, "local rule: compression|align")
 		states    = fs.Int("states", 0, "payload state count for payload rules (0 = rule default; align defaults to 6 orientations)")
 		workers   = fs.Int("workers", 0, "drive an amoebot run with this many concurrent goroutines")
+		shards    = fs.Int("shards", 0, "stripe-shard a kmc run across this many concurrent row stripes (kmc engine, stateless rules only)")
 		crash     = fs.Float64("crash", 0, "fraction of particles to crash-fail (amoebot engine only)")
 		snapshots = fs.Int("snapshots", 5, "number of equally spaced snapshots to print")
 		render    = fs.Bool("render", true, "print the final configuration")
@@ -49,6 +50,9 @@ func cmdRun(args []string) error {
 	}
 	if *workers > 1 {
 		opts.Workers = *workers
+	}
+	if *shards > 1 {
+		opts.Shards = *shards
 	}
 	total := opts.Iterations
 	if total == 0 {

@@ -30,6 +30,7 @@ func cmdSweep(args []string) error {
 		rules    = fs.String("rules", "", "comma-separated local rules: compression|align (scenario default if empty)")
 		states   = fs.Int("states", 0, "payload state count for payload rules (0 = rule default)")
 		crash    = fs.String("crash", "", "comma-separated crash fractions (amoebot engine only)")
+		shards   = fs.Int("shards", 0, "stripe-shard every kmc-engine point across this many concurrent row stripes")
 		reps     = fs.Int("reps", 3, "independent replications per sweep point")
 		iters    = fs.Uint64("iters", 0, "per-run budget (0 = scenario default)")
 		snapshot = fs.Uint64("snapshot-every", 0, "record snapshot metrics at this cadence (0 = off)")
@@ -61,6 +62,7 @@ func cmdSweep(args []string) error {
 		Rules:          parseStrings(*rules),
 		RuleStates:     *states,
 		CrashFractions: crashes,
+		Shards:         *shards,
 		Reps:           *reps,
 		Iterations:     *iters,
 		SnapshotEvery:  *snapshot,

@@ -31,6 +31,10 @@ import (
 	"sops/internal/rule"
 )
 
+// rngStream is the fixed second PCG seed word; New and Reset must use the
+// same value so a Reset chain replays a fresh chain's randomness exactly.
+const rngStream = 0x9e3779b97f4a7c15
+
 // Option customizes a Chain; the variants are used by the ablation
 // experiments in EXPERIMENTS.md to demonstrate that each rule of M is
 // load-bearing.
@@ -68,6 +72,7 @@ type Chain struct {
 	// lamPow caches λ^k for k ∈ [−5, 5] at index k+5 for the reference
 	// engine; the grid engine prices moves from the rule tables.
 	lamPow [11]float64
+	pcg    *rand.PCG // kept so Reset can reseed the stream in place
 	rng    *rand.Rand
 
 	reference    bool
@@ -149,7 +154,8 @@ func (c *Chain) init(sigma0 *config.Config, seed uint64) error {
 	if !sigma0.Connected() {
 		return fmt.Errorf("chain: starting configuration must be connected")
 	}
-	c.rng = rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	c.pcg = rand.NewPCG(seed, rngStream)
+	c.rng = rand.New(c.pcg)
 	c.stateless = c.ru.Stateless()
 	c.slots = c.ru.Slots()
 	c.points = sigma0.Points()
@@ -173,6 +179,53 @@ func (c *Chain) init(sigma0 *config.Config, seed uint64) error {
 	c.holesGone = !sigma0.HasHoles()
 	return nil
 }
+
+// Reset re-initializes the chain in place to run rule ru from the starting
+// configuration pts with a fresh seed, producing a trajectory bit-identical
+// to NewWithRule on the same (configuration, rule, seed) while reusing the
+// chain's grid window and point buffer. It is the arena fast path for sweep
+// runners that execute many independent tasks on one worker.
+//
+// pts must be non-empty, duplicate-free, connected, and in canonical (Y, X)
+// order (as produced by config.Config.Points or grid.Grid.AppendPoints);
+// connectivity is the caller's responsibility and is not re-verified. The
+// reference engine does not support Reset.
+func (c *Chain) Reset(pts []lattice.Point, ru *rule.Rule, seed uint64) error {
+	if c.reference {
+		return fmt.Errorf("chain: Reset is not supported on the reference engine")
+	}
+	if ru == nil {
+		return fmt.Errorf("chain: nil rule")
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("chain: empty starting configuration")
+	}
+	c.ru = ru
+	c.lambda = ru.Lambda()
+	c.pcg.Seed(seed, rngStream)
+	c.stateless = ru.Stateless()
+	c.slots = ru.Slots()
+	c.points = append(c.points[:0], pts...)
+	c.g.Reset(c.points)
+	if !c.stateless {
+		c.g.EnablePayload()
+		states := c.ru.States()
+		for _, p := range c.points {
+			c.g.SetPayload(p, uint8(c.rng.IntN(states)))
+		}
+	}
+	c.hval = c.ru.Energy(c.g)
+	for k := -5; k <= 5; k++ {
+		c.lamPow[k+5] = math.Pow(c.lambda, float64(k))
+	}
+	c.steps, c.accepted, c.rotations = 0, 0, 0
+	c.holesGone = !c.g.HasHoles()
+	return nil
+}
+
+// Grid exposes the chain's live occupancy grid for read-only observation
+// (nil on the reference engine); mutating it corrupts the chain.
+func (c *Chain) Grid() *grid.Grid { return c.g }
 
 // MustNew is New but panics on error; convenient for examples and tests with
 // known-good inputs.

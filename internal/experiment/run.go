@@ -181,7 +181,13 @@ func Run(ctx context.Context, spec Spec, opt RunOptions) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker: engines, grids, and result buffers are
+			// reused across every task this goroutine executes, so the
+			// steady-state sweep loop allocates per task only what the
+			// metrics bag needs (TestRunTaskAllocations bounds it).
+			arena := runner.NewArena()
 			for t := range jobs {
+				t.Arena = arena
 				m, err := sc.Run(spec, t)
 				results <- taskDone{task: t, metrics: m, err: err}
 			}

@@ -13,20 +13,39 @@ import (
 
 // newSequential builds the sequential engine a task's engine axis selects,
 // running the task's rule, with the task's start shape and derived seed.
+// Tasks carrying an arena get a reset arena-resident engine instead of a
+// fresh one — bit-identical trajectories, no per-task construction.
 func newSequential(sp Spec, t Task) (runner.Sequential, error) {
 	if t.Point.Engine != EngineChain && t.Point.Engine != EngineKMC {
 		return nil, fmt.Errorf("scenario requires a sequential engine (%s|%s), got %q",
 			EngineChain, EngineKMC, t.Point.Engine)
 	}
+	states := ruleStatesFor(t.Point.Rule, sp.RuleStates)
+	if t.Arena != nil {
+		ru, err := t.Arena.Rule(t.Point.Rule, t.Point.Lambda, states)
+		if err != nil {
+			return nil, err
+		}
+		return t.Arena.Sequential(t.Point.Engine, runner.StartShape(t.Point.Start), t.Point.N, ru, t.Seed)
+	}
 	start, err := runner.NewStartConfig(runner.StartShape(t.Point.Start), t.Point.N, t.Seed)
 	if err != nil {
 		return nil, err
 	}
-	ru, err := rule.New(t.Point.Rule, t.Point.Lambda, ruleStatesFor(t.Point.Rule, sp.RuleStates))
+	ru, err := rule.New(t.Point.Rule, t.Point.Lambda, states)
 	if err != nil {
 		return nil, err
 	}
 	return runner.NewSequentialWithRule(t.Point.Engine, start, ru, t.Seed)
+}
+
+// shardsFor resolves the Spec.Shards knob for one point: stripe sharding
+// exists only on the kMC engine; other engines' points ignore it.
+func shardsFor(sp Spec, p Point) int {
+	if p.Engine == EngineKMC {
+		return sp.Shards
+	}
+	return 0
 }
 
 // The built-in scenarios: every workload the five pre-consolidation binaries
@@ -152,7 +171,7 @@ func init() {
 }
 
 func runCompress(sp Spec, t Task) (Metrics, error) {
-	res, err := runner.Compress(runner.Options{
+	opts := runner.Options{
 		N:             t.Point.N,
 		Lambda:        t.Point.Lambda,
 		Iterations:    sp.Iterations,
@@ -162,10 +181,18 @@ func runCompress(sp Spec, t Task) (Metrics, error) {
 		Rule:          t.Point.Rule,
 		RuleStates:    ruleStatesFor(t.Point.Rule, sp.RuleStates),
 		CrashFraction: t.Point.Crash,
+		Shards:        shardsFor(sp, t.Point),
 		SnapshotEvery: sp.SnapshotEvery,
 		SnapshotFunc:  t.OnSnapshot,
 		Interrupt:     t.Interrupt,
-	})
+	}
+	var res *runner.Result
+	var err error
+	if t.Arena != nil {
+		res, err = t.Arena.Compress(opts)
+	} else {
+		res, err = runner.Compress(opts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -64,6 +64,14 @@ type Spec struct {
 	RuleStates int `json:"rule_states,omitempty"`
 	// CrashFractions are crash-failure fractions (amoebot engine only).
 	CrashFractions []float64 `json:"crash_fractions"`
+	// Shards > 1 runs every kMC-engine point with that many stripe shards
+	// (runner.Options.Shards): interior events of disjoint row stripes fire
+	// concurrently within each task. Shards is identity-side — sharded
+	// trajectories are statistically, not byte-, equivalent to sequential
+	// kMC — so it is part of the Spec, not RunOptions. Points of other
+	// engines ignore it. Requires the kmc engine on the axis and stateless
+	// rules.
+	Shards int `json:"shards,omitempty"`
 	// Reps is the number of independent replications per sweep point
 	// (default 1).
 	Reps int `json:"reps"`
@@ -105,6 +113,12 @@ type Task struct {
 	PointIndex int
 	Rep        int
 	Seed       uint64
+	// Arena, when non-nil, is the executing worker's reusable run context:
+	// scenarios route engine construction through it so steady-state sweep
+	// execution performs no cross-task allocation. It is an execution-side
+	// resource — never part of the task's identity, never journaled — and
+	// scenarios are free to ignore it.
+	Arena *runner.Arena `json:"-"`
 	// OnSnapshot, when non-nil, receives every mid-run snapshot of this
 	// task as it is taken (scenarios that run snapshots forward it into
 	// runner.Options.SnapshotFunc). It is an execution-side observer
@@ -197,6 +211,25 @@ func (s Spec) normalized(sc Scenario) (Spec, error) {
 	}
 	if !anyPayload {
 		s.RuleStates = 0
+	}
+	if s.Shards < 2 {
+		s.Shards = 0
+	}
+	if s.Shards > 1 {
+		hasKMC := false
+		for _, e := range s.Engines {
+			if e == EngineKMC {
+				hasKMC = true
+			}
+		}
+		if !hasKMC {
+			return s, fmt.Errorf("experiment: Shards requires the %s engine on the axis", EngineKMC)
+		}
+		for _, rn := range s.Rules {
+			if ru, err := rule.New(rn, 1, ruleStatesFor(rn, s.RuleStates)); err == nil && !ru.Stateless() {
+				return s, fmt.Errorf("experiment: Shards supports only stateless rules, not %q", rn)
+			}
+		}
 	}
 	for _, c := range s.CrashFractions {
 		if c < 0 || c >= 1 {

@@ -206,9 +206,22 @@ func (g *Grid) reshape(min, max lattice.Point) {
 	g.minX, g.minY = min.X-g.slack, min.Y-g.slack
 	g.w, g.h = max.X-g.minX+g.slack+1, max.Y-g.minY+g.slack+1
 	g.stride = (g.w + 63) / 64
-	g.words = make([]uint64, g.stride*g.h)
+	// Reuse the word capacity when it suffices (Reset-heavy workloads
+	// reshape constantly); Clone never shares these arrays, so an in-place
+	// reuse cannot corrupt a copy.
+	if need := g.stride * g.h; cap(g.words) >= need {
+		g.words = g.words[:need]
+		clear(g.words)
+	} else {
+		g.words = make([]uint64, need)
+	}
 	if g.pay != nil {
-		g.pay = make([]uint8, len(g.words)<<6)
+		if need := len(g.words) << 6; cap(g.pay) >= need {
+			g.pay = g.pay[:need]
+			clear(g.pay)
+		} else {
+			g.pay = make([]uint8, need)
+		}
 	}
 	g.arcScratch = nil
 	sb := g.stride << 6
@@ -350,6 +363,73 @@ func (g *Grid) Move(src, dst lattice.Point) {
 	g.setBit(di)
 	if g.pay != nil {
 		g.pay[di], g.pay[si] = g.pay[si], 0
+	}
+}
+
+// MoveUncounted relocates a particle from src to dst like Move, but leaves
+// the shared edge counter untouched and returns the edge delta instead, and
+// never grows the window (the caller must have checked !NearBorder(dst)).
+// It exists for the sharded kMC engine: concurrent shards apply moves in
+// disjoint stripe interiors, accumulate the returned deltas locally, and
+// fold them back through AddEdgeCount at a synchronization barrier, so the
+// parallel phase touches no shared mutable word.
+func (g *Grid) MoveUncounted(src, dst lattice.Point) int {
+	delta := -g.Degree(src)
+	si := g.bitIndex(src)
+	g.clearBit(si)
+	delta += g.Degree(dst)
+	di := g.bitIndex(dst)
+	g.setBit(di)
+	if g.pay != nil {
+		g.pay[di], g.pay[si] = g.pay[si], 0
+	}
+	return delta
+}
+
+// AddEdgeCount folds an externally accumulated edge delta (from
+// MoveUncounted calls) back into the maintained e(σ) counter.
+func (g *Grid) AddEdgeCount(delta int) { g.edges += delta }
+
+// NearBorder reports whether placing a particle at p would violate the
+// margin invariant and force a window grow. Callers that cannot tolerate a
+// reallocation mid-flight (concurrent shards) check it before moving.
+func (g *Grid) NearBorder(p lattice.Point) bool { return g.nearBorder(p) }
+
+// EnsureRoom grows the window, if needed, so that p satisfies the margin
+// invariant. It is the explicit form of the grow Move performs implicitly,
+// for callers that route their moves through MoveUncounted.
+func (g *Grid) EnsureRoom(p lattice.Point) {
+	if g.nearBorder(p) {
+		g.grow(p)
+	}
+}
+
+// Reset re-initializes the grid to occupy exactly pts, reusing the existing
+// window (and its allocations) when the new bounding box fits with the
+// mandatory margin; otherwise the window is reshaped around pts with the
+// grid's slack, reusing word capacity when possible. Payload storage, if
+// enabled, is cleared. Semantically the result is indistinguishable from
+// New(pts, slack): only the window geometry (invisible to callers) may
+// differ. Duplicate points are collapsed.
+func (g *Grid) Reset(pts []lattice.Point) {
+	min, max := lattice.Point{}, lattice.Point{}
+	if len(pts) > 0 {
+		min, max = pts[0], pts[0]
+		for _, p := range pts[1:] {
+			min, max = boundsExtend(min, max, p)
+		}
+	}
+	clear(g.words)
+	if g.pay != nil {
+		clear(g.pay)
+	}
+	g.n, g.edges = 0, 0
+	if min.X-g.minX < minSlack || min.Y-g.minY < minSlack ||
+		(g.minX+g.w-1)-max.X < minSlack || (g.minY+g.h-1)-max.Y < minSlack {
+		g.reshape(min, max)
+	}
+	for _, p := range pts {
+		g.Add(p)
 	}
 }
 
@@ -631,6 +711,54 @@ func (g *Grid) Points() []lattice.Point {
 		out = append(out, p)
 	})
 	return out
+}
+
+// AppendPoints appends the occupied points to buf in (Y, X) order and
+// returns the extended slice. Callers pass buf[:0] of a reusable slice to
+// extract the configuration without allocating (cf. Points).
+func (g *Grid) AppendPoints(buf []lattice.Point) []lattice.Point {
+	for cy := 0; cy < g.h; cy++ {
+		row := g.words[cy*g.stride : (cy+1)*g.stride]
+		for wi, w := range row {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				buf = append(buf, lattice.Point{X: g.minX + wi<<6 + b, Y: g.minY + cy})
+			}
+		}
+	}
+	return buf
+}
+
+// Triangles returns t(σ): the number of triangular lattice faces with all
+// three corners occupied, matching config.Config.Triangles. Each unit face
+// is counted from its unique corner p whose other two corners lie in
+// directions (u0, u1) or (u1, u2); both shapes reduce to word-parallel ANDs
+// of a row with its upper neighbor row.
+func (g *Grid) Triangles() int {
+	total := 0
+	for cy := 0; cy+1 < g.h; cy++ {
+		row := g.words[cy*g.stride : (cy+1)*g.stride]
+		up := g.words[(cy+1)*g.stride : (cy+2)*g.stride]
+		for i, w := range row {
+			if w == 0 {
+				continue
+			}
+			// Face (p, p+u0, p+u1): bits p, p+1 of this row, p of the row
+			// above. Face (p, p+u1, p+u2): bit p here, bits p, p−1 above.
+			right := w >> 1
+			if i+1 < len(row) {
+				right |= row[i+1] << 63
+			}
+			upLeft := up[i] << 1
+			if i > 0 {
+				upLeft |= up[i-1] >> 63
+			}
+			total += bits.OnesCount64(w & right & up[i])
+			total += bits.OnesCount64(w & up[i] & upLeft)
+		}
+	}
+	return total
 }
 
 // Each calls fn for every occupied point in (Y, X) order.

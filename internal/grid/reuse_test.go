@@ -1,0 +1,147 @@
+package grid_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/grid"
+	"sops/internal/lattice"
+)
+
+// randomBlob grows a connected blob of n cells by random neighbor accretion.
+func randomBlob(rng *rand.Rand, n int) []lattice.Point {
+	c := config.New()
+	c.Add(lattice.Point{})
+	for c.N() < n {
+		pts := c.Points()
+		p := pts[rng.IntN(len(pts))]
+		c.Add(p.Neighbor(lattice.Dir(rng.IntN(lattice.NumDirs))))
+	}
+	return c.Points()
+}
+
+// TestTrianglesAgainstConfig checks the word-parallel triangle count against
+// the map-backed reference on random blobs.
+func TestTrianglesAgainstConfig(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 7))
+	for trial := 0; trial < 40; trial++ {
+		pts := randomBlob(rng, 5+rng.IntN(120))
+		g := grid.New(pts, 0)
+		c := config.New(pts...)
+		if got, want := g.Triangles(), c.Triangles(); got != want {
+			t.Fatalf("trial %d: Triangles = %d, want %d (n=%d)", trial, got, want, len(pts))
+		}
+	}
+}
+
+// TestResetMatchesNew resets one grid through a sequence of unrelated
+// configurations and asserts that after each Reset it is observationally
+// identical to a freshly constructed grid: occupancy, counters, degrees,
+// windows, boundary walks.
+func TestResetMatchesNew(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	g := grid.New([]lattice.Point{{}}, 0)
+	for trial := 0; trial < 25; trial++ {
+		pts := randomBlob(rng, 2+rng.IntN(200))
+		// Shift every other trial far away so both the reuse branch and the
+		// reshape branch of Reset are exercised.
+		if trial%2 == 1 {
+			off := lattice.Point{X: rng.IntN(2000) - 1000, Y: rng.IntN(2000) - 1000}
+			for i := range pts {
+				pts[i] = pts[i].Add(off)
+			}
+		}
+		g.Reset(pts)
+		fresh := grid.New(pts, 0)
+		if g.N() != fresh.N() || g.Edges() != fresh.Edges() || g.Triangles() != fresh.Triangles() {
+			t.Fatalf("trial %d: counters (n=%d e=%d t=%d), want (%d %d %d)", trial,
+				g.N(), g.Edges(), g.Triangles(), fresh.N(), fresh.Edges(), fresh.Triangles())
+		}
+		gp, fp := g.Points(), fresh.Points()
+		for i := range gp {
+			if gp[i] != fp[i] {
+				t.Fatalf("trial %d: point %d = %v, want %v", trial, i, gp[i], fp[i])
+			}
+			if g.Window(gp[i]) != fresh.Window(fp[i]) {
+				t.Fatalf("trial %d: Window(%v) differs after Reset", trial, gp[i])
+			}
+		}
+		gc, ge := g.Boundaries()
+		fc, fe := fresh.Boundaries()
+		if gc != fc || ge != fe {
+			t.Fatalf("trial %d: Boundaries = (%d, %d), want (%d, %d)", trial, gc, ge, fc, fe)
+		}
+	}
+}
+
+// TestResetClearsPayload verifies stale payload bytes do not leak through a
+// Reset.
+func TestResetClearsPayload(t *testing.T) {
+	p := lattice.Point{X: 1, Y: 1}
+	g := grid.New([]lattice.Point{p}, 0)
+	g.EnablePayload()
+	g.SetPayload(p, 9)
+	g.Reset([]lattice.Point{p})
+	if got := g.Payload(p); got != 0 {
+		t.Fatalf("payload after Reset = %d, want 0", got)
+	}
+}
+
+// TestMoveUncountedMatchesMove replays a random walk through Move on one
+// grid and MoveUncounted+AddEdgeCount on a clone, asserting the maintained
+// edge counters agree at every step.
+func TestMoveUncountedMatchesMove(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 13))
+	pts := randomBlob(rng, 60)
+	a := grid.New(pts, 0)
+	b := a.Clone()
+	cur := pts[len(pts)/2]
+	delta := 0
+	for step := 0; step < 2000; step++ {
+		d := lattice.Dir(rng.IntN(lattice.NumDirs))
+		dst := cur.Neighbor(d)
+		if a.Has(dst) {
+			continue
+		}
+		a.Move(cur, dst)
+		b.EnsureRoom(dst)
+		delta += b.MoveUncounted(cur, dst)
+		cur = dst
+	}
+	b.AddEdgeCount(delta)
+	if a.Edges() != b.Edges() {
+		t.Fatalf("edges: Move path %d, MoveUncounted path %d", a.Edges(), b.Edges())
+	}
+	ap, bp := a.Points(), b.Points()
+	if len(ap) != len(bp) {
+		t.Fatalf("point counts diverged: %d vs %d", len(ap), len(bp))
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatalf("point %d: %v vs %v", i, ap[i], bp[i])
+		}
+	}
+}
+
+// TestAppendPointsMatchesPoints checks the allocation-free extraction agrees
+// with Points and reuses the passed buffer.
+func TestAppendPointsMatchesPoints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 21))
+	pts := randomBlob(rng, 90)
+	g := grid.New(pts, 0)
+	buf := make([]lattice.Point, 0, g.N())
+	buf = g.AppendPoints(buf[:0])
+	want := g.Points()
+	if len(buf) != len(want) {
+		t.Fatalf("AppendPoints returned %d points, want %d", len(buf), len(want))
+	}
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("point %d = %v, want %v", i, buf[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() { buf = g.AppendPoints(buf[:0]) }); allocs != 0 {
+		t.Fatalf("AppendPoints allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -22,6 +22,20 @@ func newFenwick(n int) *fenwick {
 
 func (f *fenwick) n() int { return len(f.tree) - 1 }
 
+// reset resizes the tree to n zero leaves, reusing capacity when possible.
+func (f *fenwick) reset(n int) {
+	if cap(f.tree) >= n+1 {
+		f.tree = f.tree[:n+1]
+		clear(f.tree)
+	} else {
+		f.tree = make([]float64, n+1)
+	}
+	f.cap2 = 1
+	for f.cap2<<1 <= n {
+		f.cap2 <<= 1
+	}
+}
+
 // add adds delta to leaf i (0-indexed).
 func (f *fenwick) add(i int, delta float64) {
 	for j := i + 1; j < len(f.tree); j += j & -j {

@@ -50,6 +50,10 @@ import (
 // the Fenwick tree is rebuilt exactly from the stored per-particle weights.
 const rebuildEvery = 1 << 16
 
+// rngStream is the fixed second PCG seed word; New and Reset must use the
+// same value so a Reset chain replays a fresh chain's randomness exactly.
+const rngStream = 0x9e3779b97f4a7c15
+
 // Option customizes a Chain. The ablation variants mirror internal/chain so
 // differential tests can compare ablated engines too.
 type Option func(*Chain)
@@ -80,6 +84,7 @@ type Chain struct {
 	// directions because masks are canonical in the move direction. Payload
 	// rules price slots through the rule's payload tables instead.
 	wTab [256]float64
+	pcg  *rand.PCG // kept so Reset can reseed the stream in place
 	rng  *rand.Rand
 
 	fen *fenwick
@@ -165,7 +170,8 @@ func (c *Chain) init(sigma0 *config.Config, seed uint64) error {
 	if !sigma0.Connected() {
 		return fmt.Errorf("kmc: starting configuration must be connected")
 	}
-	c.rng = rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	c.pcg = rand.NewPCG(seed, rngStream)
+	c.rng = rand.New(c.pcg)
 	c.stateless = c.ru.Stateless()
 	c.slots = c.ru.Slots()
 	c.points = sigma0.Points()
@@ -191,6 +197,67 @@ func (c *Chain) init(sigma0 *config.Config, seed uint64) error {
 	c.holesGone = !sigma0.HasHoles()
 	return nil
 }
+
+// Reset re-initializes the chain in place to run rule ru from the starting
+// configuration pts with a fresh seed, producing a trajectory bit-identical
+// to NewWithRule on the same (configuration, rule, seed) while reusing the
+// grid window, the particle index, the Fenwick tree, and every scratch
+// buffer. It is the arena fast path for sweep runners.
+//
+// pts must be non-empty, duplicate-free, connected, and in canonical (Y, X)
+// order (as produced by config.Config.Points or grid.Grid.AppendPoints);
+// connectivity is the caller's responsibility and is not re-verified.
+func (c *Chain) Reset(pts []lattice.Point, ru *rule.Rule, seed uint64) error {
+	if ru == nil {
+		return fmt.Errorf("kmc: nil rule")
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("kmc: empty starting configuration")
+	}
+	c.ru = ru
+	c.lambda = ru.Lambda()
+	c.pcg.Seed(seed, rngStream)
+	c.stateless = ru.Stateless()
+	c.slots = ru.Slots()
+	c.points = append(c.points[:0], pts...)
+	c.g.Reset(c.points)
+	if !c.stateless {
+		c.g.EnablePayload()
+		states := c.ru.States()
+		for _, p := range c.points {
+			c.g.SetPayload(p, uint8(c.rng.IntN(states)))
+		}
+		c.slotBuf = resizeFloats(c.slotBuf, c.slots)
+		c.payBuf = resizeFloats(c.payBuf, c.slots)
+	}
+	c.wTab = c.ru.WeightTable()
+	c.hval = c.ru.Energy(c.g)
+	c.idx.reshape(c.points)
+	c.wj = resizeFloats(c.wj, len(c.points))
+	c.fen.reset(len(c.points))
+	for i, p := range c.points {
+		c.wj[i] = c.particleWeight(p)
+	}
+	c.fen.rebuild(c.wj)
+	c.steps, c.events, c.moves, c.rots = 0, 0, 0, 0
+	c.hold = 0
+	c.eventsSinceRebuild = 0
+	c.holesGone = !c.g.HasHoles()
+	return nil
+}
+
+// resizeFloats returns a slice of length n, reusing buf's capacity when it
+// suffices. Contents are unspecified; callers overwrite every element.
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// Grid exposes the chain's live occupancy grid for read-only observation;
+// mutating it corrupts the chain.
+func (c *Chain) Grid() *grid.Grid { return c.g }
 
 // MustNew is New but panics on error.
 func MustNew(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) *Chain {
@@ -652,7 +719,11 @@ func (x *pindex) reshape(pts []lattice.Point) {
 	}
 	x.minX, x.minY = min.X-pindexSlack, min.Y-pindexSlack
 	x.w, x.h = max.X-x.minX+pindexSlack+1, max.Y-x.minY+pindexSlack+1
-	x.id = make([]int32, x.w*x.h)
+	if need := x.w * x.h; cap(x.id) >= need {
+		x.id = x.id[:need]
+	} else {
+		x.id = make([]int32, need)
+	}
 	for k := range x.id {
 		x.id[k] = -1
 	}

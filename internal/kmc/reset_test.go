@@ -1,0 +1,98 @@
+package kmc
+
+import (
+	"testing"
+
+	"sops/internal/config"
+	"sops/internal/lattice"
+	"sops/internal/rule"
+)
+
+// resetTestRules builds the (rule, start, seed) schedule the reset tests
+// drive one reused chain through: different rules, sizes, and starts, so a
+// single arena-resident engine must reproduce each fresh build exactly.
+func resetTestRules(t *testing.T) []struct {
+	name string
+	ru   *rule.Rule
+	pts  []lattice.Point
+	seed uint64
+} {
+	t.Helper()
+	align, err := rule.Alignment(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		ru   *rule.Rule
+		pts  []lattice.Point
+		seed uint64
+	}{
+		{"compression-spiral", rule.Compression(4), config.Spiral(60).Points(), 7},
+		{"alignment-line", align, config.Line(25).Points(), 11},
+		{"compression-line", rule.Compression(2), config.Line(90).Points(), 13},
+		{"alignment-spiral", align, config.Spiral(40).Points(), 17},
+	}
+}
+
+// TestResetMatchesFresh drives one kMC chain through a schedule of Reset
+// calls with varying rules, sizes, and seeds, and asserts that every leg's
+// trajectory is bit-identical to a freshly constructed chain: same points,
+// counters, energy, weights, and payloads after the same number of steps.
+func TestResetMatchesFresh(t *testing.T) {
+	cases := resetTestRules(t)
+	reused, err := NewWithRule(config.New(cases[0].pts...), cases[0].ru, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 60_000
+	for _, tc := range cases {
+		if err := reused.Reset(tc.pts, tc.ru, tc.seed); err != nil {
+			t.Fatalf("%s: Reset: %v", tc.name, err)
+		}
+		fresh, err := NewWithRule(config.New(tc.pts...), tc.ru, tc.seed)
+		if err != nil {
+			t.Fatalf("%s: NewWithRule: %v", tc.name, err)
+		}
+		reused.Run(steps)
+		fresh.Run(steps)
+		if reused.Steps() != fresh.Steps() || reused.Events() != fresh.Events() ||
+			reused.Accepted() != fresh.Accepted() || reused.Rotations() != fresh.Rotations() {
+			t.Fatalf("%s: counters (steps %d events %d moves %d rots %d), want (%d %d %d %d)",
+				tc.name, reused.Steps(), reused.Events(), reused.Accepted(), reused.Rotations(),
+				fresh.Steps(), fresh.Events(), fresh.Accepted(), fresh.Rotations())
+		}
+		if reused.Energy() != fresh.Energy() || reused.Edges() != fresh.Edges() {
+			t.Fatalf("%s: energy/edges (%d, %d), want (%d, %d)",
+				tc.name, reused.Energy(), reused.Edges(), fresh.Energy(), fresh.Edges())
+		}
+		if reused.TotalWeight() != fresh.TotalWeight() {
+			t.Fatalf("%s: total weight %v, want %v", tc.name, reused.TotalWeight(), fresh.TotalWeight())
+		}
+		rp, fp := reused.Points(), fresh.Points()
+		for i := range rp {
+			if rp[i] != fp[i] {
+				t.Fatalf("%s: particle %d at %v, want %v", tc.name, i, rp[i], fp[i])
+			}
+			if reused.Payload(i) != fresh.Payload(i) {
+				t.Fatalf("%s: particle %d payload %d, want %d", tc.name, i, reused.Payload(i), fresh.Payload(i))
+			}
+		}
+	}
+}
+
+// TestResetRejectsBadInput covers the Reset validation paths.
+func TestResetRejectsBadInput(t *testing.T) {
+	c := MustNew(config.Spiral(10), 4, 1)
+	if err := c.Reset(nil, rule.Compression(4), 1); err == nil {
+		t.Fatal("Reset accepted an empty configuration")
+	}
+	if err := c.Reset(config.Spiral(10).Points(), nil, 1); err == nil {
+		t.Fatal("Reset accepted a nil rule")
+	}
+	// The chain must still be usable after rejected Resets.
+	if err := c.Reset(config.Spiral(10).Points(), rule.Compression(4), 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(1000)
+}

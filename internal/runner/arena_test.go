@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestArenaCompressMatchesPlain pins the arena contract: across engines,
+// rules, and start shapes, an arena-executed run returns the same Result as
+// the package-level Compress — every field except Rendering, which the
+// arena deliberately skips.
+func TestArenaCompressMatchesPlain(t *testing.T) {
+	a := NewArena()
+	cases := []Options{
+		{N: 30, Lambda: 4, Iterations: 30_000, Seed: 5},
+		{N: 30, Lambda: 4, Iterations: 30_000, Seed: 5, Engine: EngineKMC},
+		{N: 40, Lambda: 6, Iterations: 20_000, Seed: 9, Start: StartSpiral, Engine: EngineKMC},
+		{N: 40, Lambda: 2, Iterations: 20_000, Seed: 11, Start: StartRandom},
+		{N: 25, Lambda: 4, Iterations: 15_000, Seed: 13, Start: StartTree, Engine: EngineKMC},
+		{N: 30, Lambda: 4, Iterations: 15_000, Seed: 7, Rule: RuleAlignment},
+		{N: 30, Lambda: 4, Iterations: 15_000, Seed: 7, Rule: RuleAlignment, RuleStates: 4, Engine: EngineKMC},
+		{N: 30, Lambda: 5, Iterations: 24_000, Seed: 3, SnapshotEvery: 6000},
+		{N: 30, Lambda: 5, Iterations: 24_000, Seed: 3, SnapshotEvery: 6000, Engine: EngineKMC},
+		// Arena-ineligible shapes must fall through with identical results.
+		{N: 24, Lambda: 4, Iterations: 8_000, Seed: 2, Engine: EngineKMC, Shards: 2},
+		{N: 24, Lambda: 4, Iterations: 4_000, Seed: 2, Engine: EngineAmoebot},
+	}
+	for i, opts := range cases {
+		t.Run(fmt.Sprintf("case-%d", i), func(t *testing.T) {
+			want, err := Compress(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.Compress(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, g := *want, *got
+			if w.Rendering != "" && g.Rendering == "" {
+				w.Rendering = "" // the one documented arena difference
+			}
+			if len(w.Snapshots) == 0 && len(g.Snapshots) == 0 {
+				w.Snapshots, g.Snapshots = nil, nil
+			}
+			if len(w.Points) == 0 && len(g.Points) == 0 {
+				w.Points, g.Points = nil, nil
+			}
+			if !reflect.DeepEqual(w, g) {
+				t.Fatalf("arena result diverged\n plain: %+v\n arena: %+v", w, g)
+			}
+		})
+	}
+}
+
+// TestArenaCompressZeroAlloc is the tentpole's allocation gate: once warm,
+// executing a full task through the arena allocates nothing.
+func TestArenaCompressZeroAlloc(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"chain-line", Options{N: 40, Lambda: 4, Iterations: 20_000, Seed: 3}},
+		{"chain-spiral", Options{N: 40, Lambda: 6, Iterations: 20_000, Seed: 3, Start: StartSpiral}},
+		{"kmc-line", Options{N: 40, Lambda: 4, Iterations: 20_000, Seed: 3, Engine: EngineKMC}},
+		{"kmc-spiral", Options{N: 40, Lambda: 6, Iterations: 20_000, Seed: 3, Start: StartSpiral, Engine: EngineKMC}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewArena()
+			run := func() {
+				if _, err := a.Compress(tc.opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Warm up: first runs compile the rule, build the start shape,
+			// construct the engine, and grow the grid window to the
+			// trajectory's extent.
+			for i := 0; i < 3; i++ {
+				run()
+			}
+			if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+				t.Errorf("steady-state arena task allocated %v times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestArenaReusedAcrossHeterogeneousTasks drives one arena through a mixed
+// task schedule — both engines, both rules, several sizes — interleaved, to
+// catch state leaking between unlike tasks.
+func TestArenaReusedAcrossHeterogeneousTasks(t *testing.T) {
+	a := NewArena()
+	schedule := []Options{
+		{N: 20, Lambda: 4, Iterations: 10_000, Seed: 1},
+		{N: 35, Lambda: 2, Iterations: 10_000, Seed: 2, Engine: EngineKMC, Start: StartSpiral},
+		{N: 20, Lambda: 4, Iterations: 10_000, Seed: 1, Rule: RuleAlignment},
+		{N: 50, Lambda: 6, Iterations: 10_000, Seed: 3, Engine: EngineKMC},
+		{N: 20, Lambda: 4, Iterations: 10_000, Seed: 1}, // repeat of task 0
+	}
+	var first *Result
+	for pass := 0; pass < 2; pass++ {
+		for i, opts := range schedule {
+			got, err := a.Compress(opts)
+			if err != nil {
+				t.Fatalf("pass %d task %d: %v", pass, i, err)
+			}
+			want, err := Compress(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Perimeter != want.Perimeter || got.Edges != want.Edges ||
+				got.Moves != want.Moves || got.Energy != want.Energy {
+				t.Fatalf("pass %d task %d: arena (p=%d e=%d m=%d H=%d) vs plain (p=%d e=%d m=%d H=%d)",
+					pass, i, got.Perimeter, got.Edges, got.Moves, got.Energy,
+					want.Perimeter, want.Edges, want.Moves, want.Energy)
+			}
+			if i == 0 && pass == 0 {
+				cp := *got
+				cp.Points = append([]Point(nil), got.Points...)
+				first = &cp
+			}
+		}
+	}
+	// The repeated task must reproduce its own first execution exactly.
+	last, err := a.Compress(schedule[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Perimeter != first.Perimeter || last.Moves != first.Moves ||
+		!reflect.DeepEqual(last.Points, first.Points) {
+		t.Fatal("identical task diverged across arena reuse")
+	}
+}

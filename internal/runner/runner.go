@@ -72,6 +72,7 @@ type Sequential interface {
 var (
 	_ Sequential = (*chain.Chain)(nil)
 	_ Sequential = (*kmc.Chain)(nil)
+	_ Sequential = (*kmc.Sharded)(nil)
 )
 
 // NewSequential constructs the named sequential engine over a copy of σ0,
@@ -249,6 +250,13 @@ type Options struct {
 	// runs; invariants and long-run statistics are unaffected. Only valid
 	// with Distributed.
 	Workers int `json:"workers,omitempty"`
+	// Shards > 1 runs the kMC engine with that many stripe shards
+	// (kmc.Sharded): the grid is domain-decomposed into row stripes whose
+	// interior events fire concurrently. Trajectories are statistically —
+	// not byte- — equivalent to the sequential kMC engine, and are
+	// reproducible given equal options and seed. Only valid with EngineKMC
+	// and a stateless rule.
+	Shards int `json:"shards,omitempty"`
 	// SnapshotEvery records a snapshot every given number of iterations;
 	// zero disables snapshots.
 	SnapshotEvery uint64 `json:"snapshot_every,omitempty"`
@@ -331,6 +339,9 @@ func Compress(opts Options) (*Result, error) {
 	if opts.Workers > 1 && engine != EngineAmoebot {
 		return nil, fmt.Errorf("sops: Workers requires the %s engine", EngineAmoebot)
 	}
+	if err := opts.validShards(engine, ru); err != nil {
+		return nil, err
+	}
 	if engine == EngineAmoebot {
 		return compressDistributed(opts, ru, start)
 	}
@@ -355,7 +366,11 @@ func (o Options) Normalized() (Options, error) {
 	if o.Lambda <= 0 {
 		return o, fmt.Errorf("sops: Lambda must be positive, got %v", o.Lambda)
 	}
-	if _, err := rule.New(o.Rule, o.Lambda, o.RuleStates); err != nil {
+	ru, err := rule.New(o.Rule, o.Lambda, o.RuleStates)
+	if err != nil {
+		return o, err
+	}
+	if err := o.validShards(engine, ru); err != nil {
 		return o, err
 	}
 	if o.CrashFraction < 0 || o.CrashFraction >= 1 {
@@ -381,7 +396,25 @@ func (o Options) Normalized() (Options, error) {
 	if o.Workers < 2 {
 		o.Workers = 0
 	}
+	if o.Shards < 2 {
+		o.Shards = 0
+	}
 	return o, nil
+}
+
+// validShards checks the Shards axis: stripe-sharded execution exists only
+// for the kMC engine over stateless rules.
+func (o Options) validShards(engine string, ru *rule.Rule) error {
+	if o.Shards < 2 {
+		return nil
+	}
+	if engine != EngineKMC {
+		return fmt.Errorf("sops: Shards requires the %s engine, got %q", EngineKMC, engine)
+	}
+	if !ru.Stateless() {
+		return fmt.Errorf("sops: Shards supports only stateless rules, not %q", ru.Name())
+	}
+	return nil
 }
 
 func validShape(s StartShape) bool {
@@ -414,7 +447,13 @@ func (o Options) engine() (string, error) {
 }
 
 func compressSequential(engine string, opts Options, ru *rule.Rule, start *config.Config) (*Result, error) {
-	c, err := NewSequentialWithRule(engine, start, ru, opts.Seed)
+	var c Sequential
+	var err error
+	if opts.Shards > 1 {
+		c, err = kmc.NewShardedWithRule(start, ru, opts.Seed, opts.Shards)
+	} else {
+		c, err = NewSequentialWithRule(engine, start, ru, opts.Seed)
+	}
 	if err != nil {
 		return nil, err
 	}
