@@ -27,6 +27,14 @@ func cmdServe(args []string) error {
 		jobs    = fs.Int("jobs", 0, "concurrent jobs (0 = 2)")
 		workers = fs.Int("task-workers", 0, "per-sweep worker-pool size (0 = GOMAXPROCS)")
 		queue   = fs.Int("queue", 0, "pending-job queue depth (0 = 256)")
+
+		nodeID    = fs.String("node-id", "", "cluster node id; non-empty joins the store's cluster (lease-based job claiming)")
+		leaseTTL  = fs.Duration("lease-ttl", 0, "cluster lease expiry: how stale a node's heartbeat may grow before its jobs are stolen (0 = 10s)")
+		heartbeat = fs.Duration("heartbeat", 0, "cluster lease renewal interval (0 = lease-ttl/4)")
+		scanEvery = fs.Duration("scan", 0, "cluster claim-scanner interval (0 = lease-ttl/2)")
+
+		maxActive = fs.Int("max-active", 0, "shed submissions (429) beyond this many active jobs (0 = unlimited)")
+		quota     = fs.Int("client-quota", 0, "shed submissions (429) beyond this many active jobs per X-Sops-Client (0 = unlimited)")
 	)
 	fs.Parse(args)
 
@@ -34,11 +42,17 @@ func cmdServe(args []string) error {
 	defer stop()
 	handle, err := startServe(*addr, sops.ServeOptions{
 		Dir: *dir, Jobs: *jobs, TaskWorkers: *workers, QueueDepth: *queue,
+		NodeID: *nodeID, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat, ScanEvery: *scanEvery,
+		MaxActive: *maxActive, ClientQuota: *quota,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sops serve: listening on %s, store %s\n", handle.addr, *dir)
+	if *nodeID != "" {
+		fmt.Fprintf(os.Stderr, "sops serve: listening on %s, store %s, cluster node %s\n", handle.addr, *dir, *nodeID)
+	} else {
+		fmt.Fprintf(os.Stderr, "sops serve: listening on %s, store %s\n", handle.addr, *dir)
+	}
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "sops serve: shutting down (journaled sweeps resume on restart)")

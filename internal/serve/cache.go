@@ -45,6 +45,10 @@ type completion struct {
 	TasksTotal  int    `json:"tasks_total,omitempty"`
 	TasksFailed int    `json:"tasks_failed,omitempty"`
 	ResultFile  string `json:"result_file"`
+	// Owner records the cluster node that finished the workload — the
+	// provenance of a cache entry. Empty for single-node stores, keeping
+	// their COMPLETE bytes identical to the pre-cluster format.
+	Owner string `json:"owner,omitempty"`
 }
 
 // jobDigest computes the content address of a normalized request.

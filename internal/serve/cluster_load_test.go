@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sops/internal/runner"
+)
+
+// TestClusterLoadManyFollowers is the multi-node race/load proof: three
+// nodes over one store, duplicate submissions of a handful of digests
+// spread across all of them, and a crowd of streaming followers — most on
+// nodes that do NOT own the job they watch, so every frame they see went
+// through the store mirror. Asserts:
+//
+//   - cluster-wide single-flight: 5 distinct digests submitted 15 times
+//     execute exactly 5 simulations (sum of tasks_run over all nodes);
+//   - every duplicate is a cache hit with the full frame history replayed;
+//   - every follower — direct or over HTTP — sees a complete, strictly
+//     monotone frame history ending in a done frame.
+//
+// Run under -race this is also the data-race proof for the whole cluster
+// path: scanner, tailers, heartbeats, and followers all interleave here.
+func TestClusterLoadManyFollowers(t *testing.T) {
+	followersPerNode := 22 // × 15 jobs × 3 nodes ≈ 1000 concurrent followers
+	httpFollowers := 2     // per job, via a real HTTP server on node b
+	if testing.Short() {
+		followersPerNode = 3
+		httpFollowers = 1
+	}
+
+	store := t.TempDir()
+	mkOpts := func(node string) Options {
+		opt := clusterOpts(store, node)
+		opt.Jobs = 2
+		// Generous lease timings: under -race on a loaded box a starved
+		// heartbeat must not look dead — a spurious steal would re-run a
+		// digest and break the exact single-flight count below.
+		opt.LeaseTTL = 10 * time.Second
+		opt.Heartbeat = 250 * time.Millisecond
+		opt.ScanEvery = 100 * time.Millisecond
+		return opt
+	}
+	nodes := []*Manager{
+		openNode(t, mkOpts("node-a")),
+		openNode(t, mkOpts("node-b")),
+		openNode(t, mkOpts("node-c")),
+	}
+	// A real HTTP front on node b only — HTTP followers of jobs owned by a
+	// or c all go through the cross-node read path.
+	front := &Server{mgr: nodes[1], mux: http.NewServeMux()}
+	front.routes()
+	ts := httptest.NewServer(front)
+	t.Cleanup(ts.Close)
+
+	// 5 distinct deterministic run workloads, each submitted once per node:
+	// 15 jobs, 5 digests. Every run yields exactly 4 frames (3 snapshots +
+	// done), so follower histories are exactly comparable.
+	const digests = 5
+	runReq := func(i int) JobRequest {
+		return JobRequest{Run: &runner.Options{
+			N: 8, Lambda: 4, Iterations: 3000, Seed: uint64(100 + i), SnapshotEvery: 1000,
+		}}
+	}
+
+	type followErr struct {
+		who string
+		err error
+	}
+	var wg sync.WaitGroup
+	errs := make(chan followErr, 4096)
+	follow := func(who string, m *Manager, id string) {
+		defer wg.Done()
+		st, ok := m.Stream(id)
+		if !ok {
+			errs <- followErr{who, fmt.Errorf("job %s unknown", id)}
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		last, n := -1, 0
+		sawDone := false
+		err := st.follow(ctx, func(line []byte) error {
+			var f Frame
+			if err := json.Unmarshal(line, &f); err != nil {
+				return fmt.Errorf("bad frame %q: %w", line, err)
+			}
+			if f.Seq <= last {
+				return fmt.Errorf("seq %d after %d", f.Seq, last)
+			}
+			last = f.Seq
+			n++
+			if f.Type == FrameDone {
+				sawDone = true
+				return context.Canceled
+			}
+			return nil
+		})
+		if sawDone {
+			err = nil
+		}
+		if err != nil {
+			errs <- followErr{who, fmt.Errorf("after %d frames: %w", n, err)}
+			return
+		}
+		if n != 4 {
+			errs <- followErr{who, fmt.Errorf("saw %d frames, want 4", n)}
+		}
+	}
+
+	var ids []string
+	for i := 0; i < digests; i++ {
+		for ni, m := range nodes {
+			job, err := m.Submit(runReq(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, job.ID)
+			// Followers on every node — two of the three tail the mirror.
+			for _, fm := range nodes {
+				for k := 0; k < followersPerNode; k++ {
+					wg.Add(1)
+					go follow(fmt.Sprintf("dig%d/%s/follower%d@%s", i, job.ID, k, fm.nodeID), fm, job.ID)
+				}
+			}
+			// And real HTTP streaming clients through node b's listener.
+			for k := 0; k < httpFollowers; k++ {
+				wg.Add(1)
+				go func(who, id string) {
+					defer wg.Done()
+					resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+					if err != nil {
+						errs <- followErr{who, err}
+						return
+					}
+					defer resp.Body.Close()
+					frames := decodeFrames(t, resp)
+					if len(frames) == 0 || frames[len(frames)-1].Type != FrameDone {
+						errs <- followErr{who, fmt.Errorf("http stream ended without done (%d frames)", len(frames))}
+					}
+				}(fmt.Sprintf("dig%d/http%d@node-b", i, k), job.ID)
+			}
+			_ = ni
+		}
+	}
+
+	// Every job finishes; every duplicate is a cache hit.
+	executed := 0
+	for _, id := range ids {
+		done := waitJob(t, nodes[0], id, StateDone, 120*time.Second)
+		if !done.CacheHit {
+			executed++
+		}
+	}
+	if executed != digests {
+		t.Fatalf("%d jobs executed for %d digests (rest must cache-hit)", executed, digests)
+	}
+
+	wg.Wait()
+	close(errs)
+	failed := 0
+	for e := range errs {
+		failed++
+		if failed <= 10 {
+			t.Errorf("follower %s: %v", e.who, e.err)
+		}
+	}
+	if failed > 10 {
+		t.Errorf("... and %d more follower failures", failed-10)
+	}
+
+	// The single-flight ledger: exactly one simulation per digest across
+	// the whole cluster, however many duplicates and racers.
+	var tasks, hits int64
+	for _, m := range nodes {
+		tasks += counterVal(m, "tasks_run")
+		hits += counterVal(m, "cache_hits")
+	}
+	if tasks != digests {
+		t.Fatalf("cluster simulated %d tasks for %d digests", tasks, digests)
+	}
+	if hits != int64(len(ids)-digests) {
+		t.Fatalf("cache_hits %d, want %d", hits, len(ids)-digests)
+	}
+}
+
+// decodeFrames reads an NDJSON stream response to its done frame.
+func decodeFrames(t *testing.T, resp *http.Response) []Frame {
+	t.Helper()
+	dec := json.NewDecoder(resp.Body)
+	var frames []Frame
+	for {
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			return frames
+		}
+		frames = append(frames, f)
+		if f.Type == FrameDone {
+			return frames
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzLeaseFile hammers the store-facing parsers a cluster node trusts its
+// safety to: lease files (ownership arbitration) and COMPLETE markers
+// (cache-hit predicate). Both are written by peer processes that can crash
+// mid-write, hold divergent code versions, or — outside the lease
+// protocol's guarantees — interleave. Arbitrary corruption must surface as
+// a clean rejection, never a panic or a half-valid record: a misread lease
+// is a double-executed job, a misread COMPLETE a wrongly served cache
+// entry. Seeds cover the interesting shapes (truncation, foreign owners,
+// stale protocol versions, concurrent-rewrite concatenation); the
+// checked-in corpus under testdata/fuzz pins them for the CI smoke run.
+func FuzzLeaseFile(f *testing.F) {
+	valid, err := json.Marshal(leaseRecord{
+		Version:    leaseVersion,
+		Owner:      "node-a",
+		ID:         "j00000001-node-a",
+		AcquiredAt: time.Unix(1700000000, 0).UTC(),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(valid, '\n'))
+	f.Add(valid[:len(valid)/2])                         // truncated mid-write
+	f.Add(append(append([]byte{}, valid...), valid...)) // concurrent rewrite: two docs
+	f.Add([]byte(`{"v":"sops-lease-v0","owner":"node-b","id":"x","acquired_at":"2020-01-01T00:00:00Z"}`))
+	f.Add([]byte(`{"v":"sops-lease-v1","owner":"","id":"x","acquired_at":"2020-01-01T00:00:00Z"}`))
+	f.Add([]byte(`{"v":"sops-lease-v1","owner":"node-z","id":"","acquired_at":"2020-01-01T00:00:00Z"}`))
+	f.Add([]byte(`{"v":"sops-lease-v1","owner":"node-z","id":"y","acquired_at":"2020-01-01T00:00:00Z","extra":1}`))
+	f.Add([]byte(`{"digest":"abc","result_file":"results.jsonl","owner":"node-a"}`))
+	f.Add([]byte{})
+	f.Add([]byte("\x00\xff{"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		rec, err := parseLease(raw)
+		if err != nil {
+			if rec != (leaseRecord{}) {
+				t.Fatalf("error %v returned a non-zero record: %+v", err, rec)
+			}
+		} else {
+			// Accepted records satisfy every invariant callers rely on…
+			if rec.Version != leaseVersion {
+				t.Fatalf("accepted lease with version %q", rec.Version)
+			}
+			if rec.Owner == "" || rec.ID == "" {
+				t.Fatalf("accepted lease missing owner/id: %+v", rec)
+			}
+			// …and survive a write/read cycle unchanged: what one node
+			// persists, every node reads back identically.
+			re, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			rec2, err := parseLease(append(re, '\n'))
+			if err != nil {
+				t.Fatalf("re-parse of own output: %v", err)
+			}
+			if rec2 != rec {
+				t.Fatalf("lease round-trip drifted: %+v vs %+v", rec2, rec)
+			}
+		}
+
+		// The COMPLETE marker decoder shares the exposure (peer-written
+		// JSON bytes): it must never panic, and a decodable marker must
+		// round-trip its digest/owner — what readCompletion's digest
+		// comparison and the provenance field rely on.
+		var c completion
+		if json.Unmarshal(raw, &c) == nil && c.Digest != "" {
+			re, err := json.Marshal(c)
+			if err != nil {
+				t.Fatalf("completion re-marshal: %v", err)
+			}
+			var c2 completion
+			if err := json.Unmarshal(re, &c2); err != nil || c2.Digest != c.Digest || c2.Owner != c.Owner {
+				t.Fatalf("completion round-trip drifted: %+v vs %+v (%v)", c2, c, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"sops/internal/runner"
+)
+
+// -update rewrites the serve golden files from the current encoding code:
+//
+//	go test ./internal/serve -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTimeRe masks the wall-clock fields of store and API bytes; every
+// other byte is deterministic and pinned exactly.
+var goldenTimeRe = regexp.MustCompile(`"(submitted_at|started_at|finished_at|acquired_at)": ?"[^"]*"`)
+
+func maskTimes(b []byte) []byte {
+	return goldenTimeRe.ReplaceAll(b, []byte(`"$1":"MASKED"`))
+}
+
+// checkGolden compares got against testdata/golden/<name>, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	goldenPath := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", goldenPath, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden bytes.\nCluster nodes of mixed builds share these bytes through the store —"+
+			" if the change is deliberate, rerun with -update and bump the protocol version (leaseVersion / digest version).\n"+
+			"--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenClusterStore pins the exact bytes of the cluster store protocol:
+// the lease file encoding, the COMPLETE marker with its owner field, and the
+// cross-node GET /v1/jobs/{id} response. These bytes are the only contract
+// between cluster nodes (there is no wire protocol), so silent drift means a
+// mixed-version cluster misreads ownership or provenance; this test makes
+// drift loud. Regenerate with -update after a deliberate format change.
+func TestGoldenClusterStore(t *testing.T) {
+	store := t.TempDir()
+	opt := clusterOpts(store, "node-a")
+	// Generous lease timings: nothing here should expire or be stolen.
+	opt.LeaseTTL = time.Minute
+	opt.Heartbeat = time.Second
+	opt.ScanEvery = time.Second
+	a := openNode(t, opt)
+
+	// The fixed workload: a tiny deterministic run. Its digest, frame count,
+	// and result bytes are all functions of these options alone.
+	job, err := a.Submit(JobRequest{Run: &runner.Options{
+		N: 8, Lambda: 4, Iterations: 2000, Seed: 42, SnapshotEvery: 500,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "j00000000-node-a" {
+		t.Fatalf("first cluster job id %q, want deterministic j00000000-node-a", job.ID)
+	}
+	done := waitJob(t, a, job.ID, StateDone, 30*time.Second)
+
+	// 1. The lease file encoding — what every node trusts ownership to.
+	// Completed jobs release their lease, so pin a freshly acquired one.
+	leasePath := a.jobLeasePath("golden")
+	if !acquireLease(leasePath, "node-a", "golden") {
+		t.Fatal("acquireLease failed on a fresh path")
+	}
+	raw, err := os.ReadFile(leasePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "job.lease", maskTimes(raw))
+	releaseLease(leasePath, "node-a")
+
+	// 2. The COMPLETE marker — cache-hit predicate plus owner provenance.
+	raw, err = os.ReadFile(filepath.Join(store, "run", done.Digest[:16], completeMarker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "COMPLETE", raw)
+
+	// 3. The cross-node job view: a second node answers GET /v1/jobs/{id}
+	// for a job it never ran, straight from the store record.
+	b := openNode(t, func() Options {
+		o := clusterOpts(store, "node-b")
+		o.LeaseTTL, o.Heartbeat, o.ScanEvery = time.Minute, time.Second, time.Second
+		return o
+	}())
+	front := &Server{mgr: b, mux: http.NewServeMux()}
+	front.routes()
+	ts := httptest.NewServer(front)
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cross-node GET: %d (%s)", resp.StatusCode, body)
+	}
+	checkGolden(t, "job.json", maskTimes(body))
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -11,11 +11,24 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"sops/internal/experiment"
 	"sops/internal/runner"
+)
+
+// Admission-control errors. The HTTP layer maps both to 429 Too Many
+// Requests; every shed submission also advances the requests_shed counter.
+var (
+	// ErrBusy rejects a submission because this node is at capacity: its
+	// pending queue is full (single-node mode) or it tracks more active
+	// jobs than Options.MaxActive allows.
+	ErrBusy = errors.New("serve: node at capacity, retry later")
+	// ErrQuota rejects a submission because the client already has
+	// Options.ClientQuota active jobs on this node.
+	ErrQuota = errors.New("serve: client quota exceeded, retry later")
 )
 
 // Job kinds.
@@ -110,6 +123,12 @@ type Job struct {
 	// digests are served from the result cache without re-simulation.
 	Digest  string     `json:"digest"`
 	Request JobRequest `json:"request"`
+	// Owner is the cluster node executing (or having executed) the job.
+	// Empty in single-node mode and before any node claims the job.
+	Owner string `json:"owner,omitempty"`
+	// Client is the submitting client's quota key (the X-Sops-Client
+	// header); empty when the client sent none.
+	Client string `json:"client,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`

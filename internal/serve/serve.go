@@ -2,11 +2,16 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
 	"sops/internal/experiment"
 )
+
+// ClientHeader carries the per-client quota key on submissions. Clients
+// that send none share the anonymous quota bucket.
+const ClientHeader = "X-Sops-Client"
 
 // Server is the HTTP front of a Manager: the typed REST API plus the
 // streaming endpoint. It implements http.Handler; `sops serve` mounts it on
@@ -76,8 +81,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job request: %w", err))
 		return
 	}
-	job, err := s.mgr.Submit(req)
+	job, err := s.mgr.SubmitAs(req, r.Header.Get(ClientHeader))
 	if err != nil {
+		// Admission sheds are backpressure, not client errors: 429 tells a
+		// well-behaved client to retry (elsewhere, or later).
+		if errors.Is(err, ErrBusy) || errors.Is(err, ErrQuota) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"sync"
 
 	"sops/internal/experiment"
@@ -55,6 +56,16 @@ type stream struct {
 	cond   *sync.Cond
 	frames [][]byte
 	closed bool
+	// base offsets the Seq stamped on published frames. Cluster nodes that
+	// resume a stolen job set it to the number of frames its previous owner
+	// already mirrored, so a follower of the cross-node frame log sees one
+	// monotone sequence across the steal.
+	base int
+	// mirror, when non-nil, receives every appended line plus a newline —
+	// the cluster frame log other nodes tail. Write errors are dropped:
+	// mirroring is best-effort replication of an in-memory log that remains
+	// authoritative for local followers.
+	mirror io.Writer
 }
 
 func newStream() *stream {
@@ -72,15 +83,14 @@ func (s *stream) publish(f Frame) {
 	if s.closed {
 		return
 	}
-	f.Seq = len(s.frames)
+	f.Seq = s.base + len(s.frames)
 	line, err := json.Marshal(f)
 	if err != nil {
 		// Frames are built from plain data types; a marshal failure is a
 		// programmer error, but dropping the frame beats killing the job.
 		return
 	}
-	s.frames = append(s.frames, line)
-	s.cond.Broadcast()
+	s.append(line)
 }
 
 // publishRaw appends an already-encoded frame line (cached-job replay).
@@ -90,8 +100,42 @@ func (s *stream) publishRaw(line []byte) {
 	if s.closed {
 		return
 	}
+	s.append(line)
+}
+
+// append records one encoded line and mirrors it; callers hold s.mu. The
+// mirror write is a single call: with O_APPEND that keeps each line atomic
+// on disk even if a lease-protocol race briefly leaves two writers alive.
+func (s *stream) append(line []byte) {
 	s.frames = append(s.frames, line)
+	if s.mirror != nil {
+		buf := make([]byte, 0, len(line)+1)
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		_, _ = s.mirror.Write(buf)
+	}
 	s.cond.Broadcast()
+}
+
+// setBase sets the Seq offset of subsequently published frames.
+func (s *stream) setBase(n int) {
+	s.mu.Lock()
+	s.base = n
+	s.mu.Unlock()
+}
+
+// nextSeq returns the Seq the next published frame would carry.
+func (s *stream) nextSeq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base + len(s.frames)
+}
+
+// setMirror attaches (or, with nil, detaches) the cluster frame-log writer.
+func (s *stream) setMirror(w io.Writer) {
+	s.mu.Lock()
+	s.mirror = w
+	s.mu.Unlock()
 }
 
 // close ends the stream; followers drain and return.
