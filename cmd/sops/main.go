@@ -7,6 +7,7 @@
 //	sops sweep          declarative, resumable scenario sweep
 //	sops resume         continue an interrupted sweep from its directory
 //	sops serve          HTTP job manager: submit sweeps/runs, stream snapshots, cached results
+//	sops replay         re-render a completed job from its stored frames
 //	sops figures        regenerate the data behind the paper's figures
 //	sops census         exact enumeration tables (Ω*, perimeter census)
 //	sops list-scenarios print the workload registry
@@ -34,6 +35,7 @@ var commands = map[string]func([]string) error{
 	"sweep":          cmdSweep,
 	"resume":         cmdResume,
 	"serve":          cmdServe,
+	"replay":         cmdReplay,
 	"figures":        cmdFigures,
 	"census":         cmdCensus,
 	"list-scenarios": cmdListScenarios,
@@ -78,6 +80,8 @@ commands:
   resume          continue an interrupted sweep from its directory
   serve           HTTP job manager: submit sweeps/runs, stream NDJSON
                   snapshots, serve cached results by spec digest
+  replay          re-render a completed job byte-deterministically from its
+                  stored frames (sops replay -addr URL -o DIR JOB)
   figures         regenerate the data behind the paper's figures
   census          exact enumeration tables (Ω*, perimeter census, N50)
   list-scenarios  print the workload registry and per-scenario defaults

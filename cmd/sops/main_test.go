@@ -33,7 +33,7 @@ func captureStdout(t *testing.T, fn func() error) (string, error) {
 // TestDispatchTable: every documented subcommand resolves, unknown names do
 // not, and the help aliases are not subcommands (main handles them).
 func TestDispatchTable(t *testing.T) {
-	for _, name := range []string{"run", "sweep", "resume", "serve", "figures", "census", "list-scenarios"} {
+	for _, name := range []string{"run", "sweep", "resume", "serve", "replay", "figures", "census", "list-scenarios"} {
 		if _, ok := dispatch(name); !ok {
 			t.Errorf("subcommand %q missing from dispatch table", name)
 		}
@@ -43,8 +43,8 @@ func TestDispatchTable(t *testing.T) {
 			t.Errorf("dispatch resolved unexpected name %q", name)
 		}
 	}
-	if len(commands) != 7 {
-		t.Errorf("dispatch table has %d entries, want 7 — update the usage text and this test together", len(commands))
+	if len(commands) != 8 {
+		t.Errorf("dispatch table has %d entries, want 8 — update the usage text and this test together", len(commands))
 	}
 }
 

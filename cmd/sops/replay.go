@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sops/internal/client"
+	"sops/internal/runner"
+	"sops/internal/serve"
+)
+
+// cmdReplay re-renders a completed job from its stored frame history. The
+// frames come from GET /v1/jobs/{id}/frames — byte-for-byte what the live
+// stream carried — so a replay is deterministic: the same job replays to
+// the same bytes on any node of a cluster, and replayed SVGs are identical
+// to the ones streamed while the job ran.
+//
+// Without -o the frames go to stdout as NDJSON (a pipe-friendly
+// re-broadcast). With -o DIR the replay is materialized: frames.ndjson
+// verbatim, frame-<seq>.svg for every SVG-bearing snapshot, and — for run
+// jobs — final.svg re-rendered from the stored result through the same
+// renderer the live run used.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("sops replay", flag.ExitOnError)
+	var (
+		addr = fs.String("addr", "http://localhost:8080", "server base URL")
+		from = fs.Int("from", 0, "first frame seq to replay (inclusive)")
+		to   = fs.Int("to", 0, "frame seq to stop before (0 = end)")
+		out  = fs.String("o", "", "materialize the replay into this directory instead of stdout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: sops replay [flags] <job-id>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("replay takes exactly one job id")
+	}
+	id := fs.Arg(0)
+	ctx := context.Background()
+	c := client.New(*addr)
+
+	job, err := c.Job(ctx, id)
+	if err != nil {
+		return err
+	}
+	if !job.Terminal() {
+		return fmt.Errorf("job %s is %s; replay needs a completed job (watch it live with GET %s/v1/jobs/%s/stream)",
+			id, job.State, *addr, id)
+	}
+
+	if *out == "" {
+		return c.Replay(ctx, id, *from, *to, func(_ serve.Frame, raw []byte) error {
+			_, werr := fmt.Printf("%s\n", raw)
+			return werr
+		})
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	log, err := os.Create(filepath.Join(*out, "frames.ndjson"))
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+	var frames, svgs int
+	err = c.Replay(ctx, id, *from, *to, func(f serve.Frame, raw []byte) error {
+		if _, werr := log.Write(append(raw, '\n')); werr != nil {
+			return werr
+		}
+		frames++
+		if f.Type == serve.FrameSnapshot && f.Snapshot != nil && f.Snapshot.SVG != "" {
+			name := fmt.Sprintf("frame-%06d.svg", f.Seq)
+			if werr := os.WriteFile(filepath.Join(*out, name), []byte(f.Snapshot.SVG), 0o644); werr != nil {
+				return werr
+			}
+			svgs++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if cerr := log.Close(); cerr != nil {
+		return cerr
+	}
+
+	// Run jobs re-render the final configuration from the stored result —
+	// the exact renderer path the live run used, so the bytes match a live
+	// render of the same result.
+	if job.Kind == serve.KindRun {
+		data, _, rerr := c.Result(ctx, id)
+		if rerr != nil {
+			return fmt.Errorf("fetching result for final render: %w", rerr)
+		}
+		var res runner.Result
+		if jerr := json.Unmarshal(data, &res); jerr != nil {
+			return fmt.Errorf("decoding run result: %w", jerr)
+		}
+		if len(res.Points) > 0 {
+			if werr := os.WriteFile(filepath.Join(*out, "final.svg"), res.AppendSVG(nil), 0o644); werr != nil {
+				return werr
+			}
+			svgs++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sops replay: %s → %s (%d frames, %d SVGs)\n", id, *out, frames, svgs)
+	return nil
+}

@@ -2,87 +2,69 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"sops"
+	"sops/internal/client"
+	"sops/internal/runner"
+	"sops/internal/serve"
 )
 
-// TestStartServeEndToEnd boots the real serve stack on an ephemeral port —
-// exactly what cmdServe does minus the signal loop — submits a job over
-// HTTP, and shuts down gracefully.
+// startNode boots the real serve stack on an ephemeral port — exactly what
+// cmdServe does minus the signal loop — and returns a typed client for it.
+func startNode(t *testing.T, opt sops.ServeOptions) (*serveHandle, *client.Client) {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	h, err := startServe("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.shutdown() })
+	return h, client.New("http://" + h.addr)
+}
+
+// TestStartServeEndToEnd drives the started server through the Go client:
+// health, sweep submission, completion, result fetch, graceful shutdown.
 func TestStartServeEndToEnd(t *testing.T) {
-	h, err := startServe("127.0.0.1:0", sops.ServeOptions{Dir: t.TempDir()})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() { _ = h.shutdown() }()
-	base := "http://" + h.addr
+	h, c := startNode(t, sops.ServeOptions{})
+	ctx := context.Background()
 
-	resp, err := http.Get(base + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: %d", resp.StatusCode)
-	}
-
 	body := `{"spec":{"scenario":"compress","lambdas":[4],"sizes":[8],"engines":["chain"],"iterations":2000,"reps":1,"seed":3}}`
-	presp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	var req serve.JobRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Submit(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, _ := io.ReadAll(presp.Body)
-	presp.Body.Close()
-	if presp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit: %d %s", presp.StatusCode, raw)
-	}
-	var job struct {
-		ID    string `json:"id"`
-		State string `json:"state"`
-	}
-	if err := json.Unmarshal(raw, &job); err != nil {
-		t.Fatal(err)
-	}
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		jr, err := http.Get(base + "/v1/jobs/" + job.ID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		jraw, _ := io.ReadAll(jr.Body)
-		jr.Body.Close()
-		var cur struct {
-			State string `json:"state"`
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(jraw, &cur); err != nil {
-			t.Fatal(err)
-		}
-		if cur.State == "done" {
-			break
-		}
-		if cur.State == "failed" || cur.State == "canceled" {
-			t.Fatalf("job ended %s: %s", cur.State, cur.Error)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job stuck in %s", cur.State)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	rresp, err := http.Get(base + "/v1/jobs/" + job.ID + "/result")
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	done, err := c.WaitTerminal(wctx, job.ID, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rraw, _ := io.ReadAll(rresp.Body)
-	rresp.Body.Close()
-	if !bytes.Contains(rraw, []byte(`"alpha"`)) {
-		t.Fatalf("result missing metrics: %s", rraw)
+	if done.State != serve.StateDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	raw, _, err := c.Result(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"alpha"`)) {
+		t.Fatalf("result missing metrics: %s", raw)
 	}
 	if err := h.shutdown(); err != nil {
 		t.Fatalf("shutdown: %v", err)
@@ -93,5 +75,98 @@ func TestStartServeEndToEnd(t *testing.T) {
 func TestStartServeRejectsBadStore(t *testing.T) {
 	if _, err := startServe("127.0.0.1:0", sops.ServeOptions{}); err == nil {
 		t.Fatal("empty store dir must fail")
+	}
+}
+
+// TestServeObservatoryUI: the started binary serves the embedded UI at /.
+func TestServeObservatoryUI(t *testing.T) {
+	h, _ := startNode(t, sops.ServeOptions{})
+	resp, err := http.Get("http://" + h.addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("GET /: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(buf.String(), "sops observatory") {
+		t.Fatal("index page is not the observatory")
+	}
+}
+
+// TestCmdReplay drives the replay command against a live server: the
+// materialized frames.ndjson must be byte-identical to the served history,
+// every SVG-bearing frame lands as a file, and final.svg re-renders from
+// the stored result.
+func TestCmdReplay(t *testing.T) {
+	h, c := startNode(t, sops.ServeOptions{})
+	ctx := context.Background()
+
+	job, err := c.Submit(ctx, serve.JobRequest{Run: &runner.Options{
+		N: 8, Lambda: 4, Iterations: 2000, Seed: 42, SnapshotEvery: 500,
+	}, SVG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	done, err := c.WaitTerminal(wctx, job.ID, 0)
+	if err != nil || done.State != serve.StateDone {
+		t.Fatalf("job: %+v, %v", done, err)
+	}
+
+	out := filepath.Join(t.TempDir(), "replay")
+	if err := cmdReplay([]string{"-addr", "http://" + h.addr, "-o", out, job.ID}); err != nil {
+		t.Fatalf("cmdReplay: %v", err)
+	}
+
+	// frames.ndjson matches the served history byte-for-byte.
+	var served bytes.Buffer
+	err = c.Replay(ctx, job.ID, 0, 0, func(_ serve.Frame, raw []byte) error {
+		served.Write(raw)
+		served.WriteByte('\n')
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialized, err := os.ReadFile(filepath.Join(out, "frames.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(materialized, served.Bytes()) {
+		t.Fatalf("materialized frames.ndjson (%d bytes) differs from served history (%d bytes)",
+			len(materialized), served.Len())
+	}
+
+	// Each SVG snapshot frame became a file; final.svg re-rendered.
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frameSVGs int
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "frame-") && strings.HasSuffix(e.Name(), ".svg") {
+			frameSVGs++
+		}
+	}
+	if frameSVGs == 0 {
+		t.Fatalf("no frame-*.svg files in %s (%v)", out, entries)
+	}
+	final, err := os.ReadFile(filepath.Join(out, "final.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(final, []byte("<svg")) {
+		t.Fatalf("final.svg is not an SVG (%d bytes)", len(final))
+	}
+
+	// Replay of an unknown job is a typed error, surfaced by the command.
+	if err := cmdReplay([]string{"-addr", "http://" + h.addr, "-o", out, "j-missing"}); err == nil {
+		t.Fatal("replay of a missing job must fail")
 	}
 }

@@ -56,6 +56,10 @@ func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCanceled
 }
 
+// Terminal reports whether the job has reached a final state (done, failed,
+// or canceled).
+func (j Job) Terminal() bool { return terminal(j.State) }
+
 // JobRequest is the POST /v1/jobs body. Exactly one of Spec and Run must be
 // set; Kind may be omitted (it is inferred from which one is).
 type JobRequest struct {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"sops/internal/experiment"
 )
@@ -13,21 +15,12 @@ import (
 // that send none share the anonymous quota bucket.
 const ClientHeader = "X-Sops-Client"
 
-// Server is the HTTP front of a Manager: the typed REST API plus the
-// streaming endpoint. It implements http.Handler; `sops serve` mounts it on
-// a net/http server, tests on httptest.
-//
-// Routes:
-//
-//	POST   /v1/jobs             submit a job (sweep spec or run options)
-//	GET    /v1/jobs             list jobs in submission order
-//	GET    /v1/jobs/{id}        one job's record and progress
-//	DELETE /v1/jobs/{id}        cancel an active job / delete a finished one
-//	GET    /v1/jobs/{id}/stream NDJSON frames: snapshots, task completions, done
-//	GET    /v1/jobs/{id}/result the stored result artifact (results.jsonl / result.json)
-//	GET    /v1/scenarios        the workload registry with default axes
-//	GET    /healthz             liveness
-//	GET    /metrics             expvar counters (cache_hits, tasks_run, …)
+// Server is the HTTP front of a Manager: the typed /v1 REST API, the
+// streaming and replay endpoints, and the embedded observatory UI. It
+// implements http.Handler; `sops serve` mounts it on a net/http server,
+// tests on httptest. The full route contract — request/response schemas,
+// the frame grammar, and the error envelope — is documented in API.md;
+// TestRoutesMatchAPIDoc keeps that document and apiRoutes in lockstep.
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
@@ -52,18 +45,55 @@ func (s *Server) Manager() *Manager { return s.mgr }
 // the next New over the same directory.
 func (s *Server) Close() error { return s.mgr.Close() }
 
+// ServeHTTP routes through the mux, except that unmatched /v1 requests are
+// answered with the typed error envelope instead of net/http's plaintext
+// 404/405 bodies — every non-2xx byte under /v1 is the envelope.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1") {
+		if _, pattern := s.mux.Handler(r); pattern == "" {
+			s.handleUnmatched(w, r)
+			return
+		}
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
+// apiRoutes is the single registry behind the mux, the Routes listing, and
+// the API.md contract: adding an endpoint means adding a row here, a
+// handler, and its documentation section (the docs test fails otherwise).
+var apiRoutes = []struct {
+	Method, Pattern string
+	handler         func(*Server, http.ResponseWriter, *http.Request)
+}{
+	{"POST", "/v1/jobs", (*Server).handleSubmit},
+	{"GET", "/v1/jobs", (*Server).handleList},
+	{"GET", "/v1/jobs/{id}", (*Server).handleJob},
+	{"DELETE", "/v1/jobs/{id}", (*Server).handleDelete},
+	{"GET", "/v1/jobs/{id}/stream", (*Server).handleStream},
+	{"GET", "/v1/jobs/{id}/frames", (*Server).handleFrames},
+	{"GET", "/v1/jobs/{id}/result", (*Server).handleResult},
+	{"GET", "/v1/jobs/{id}/timeline.csv", (*Server).handleTimelineCSV},
+	{"GET", "/v1/jobs/{id}/timeline.svg", (*Server).handleTimelineSVG},
+	{"GET", "/v1/scenarios", (*Server).handleScenarios},
+}
+
+// Routes lists the /v1 route contract as "METHOD /pattern" strings, in
+// registration order — what API.md must document, one section per entry.
+func Routes() []string {
+	out := make([]string, len(apiRoutes))
+	for i, rt := range apiRoutes {
+		out[i] = rt.Method + " " + rt.Pattern
+	}
+	return out
+}
+
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	for _, rt := range apiRoutes {
+		h := rt.handler
+		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, func(w http.ResponseWriter, r *http.Request) {
+			h(s, w, r)
+		})
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -71,6 +101,28 @@ func (s *Server) routes() {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, s.mgr.Metrics().String())
 	})
+	// The embedded observatory UI: index at /, assets under /ui/.
+	s.mux.HandleFunc("GET /{$}", handleUIIndex)
+	s.mux.Handle("GET /ui/", http.StripPrefix("/ui/", uiFileServer()))
+}
+
+// handleUnmatched turns the mux's plaintext fallback for an unmatched /v1
+// request into the envelope, preserving the status (404 vs 405) and the
+// Allow header the mux would have sent.
+func (s *Server) handleUnmatched(w http.ResponseWriter, r *http.Request) {
+	probe := &probeWriter{header: http.Header{}}
+	s.mux.ServeHTTP(probe, r)
+	if probe.status == http.StatusMethodNotAllowed {
+		allow := probe.header.Get("Allow")
+		if allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		writeAPIError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "",
+			fmt.Errorf("method %s is not allowed on %s (allowed: %s)", r.Method, r.URL.Path, allow))
+		return
+	}
+	writeAPIError(w, http.StatusNotFound, CodeRouteNotFound, "",
+		fmt.Errorf("no route %s %s (see API.md for the /v1 contract)", r.Method, r.URL.Path))
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -78,19 +130,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job request: %w", err))
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidSpec, "", fmt.Errorf("decoding job request: %w", err))
 		return
 	}
 	job, err := s.mgr.SubmitAs(req, r.Header.Get(ClientHeader))
 	if err != nil {
 		// Admission sheds are backpressure, not client errors: 429 tells a
 		// well-behaved client to retry (elsewhere, or later).
-		if errors.Is(err, ErrBusy) || errors.Is(err, ErrQuota) {
+		switch {
+		case errors.Is(err, ErrQuota):
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err)
-			return
+			writeAPIError(w, http.StatusTooManyRequests, CodeQuotaExceeded, "", err)
+		case errors.Is(err, ErrBusy):
+			w.Header().Set("Retry-After", "1")
+			writeAPIError(w, http.StatusTooManyRequests, CodeNodeBusy, "", err)
+		default:
+			writeAPIError(w, http.StatusBadRequest, CodeInvalidSpec, "", err)
 		}
-		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job)
@@ -103,7 +159,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.mgr.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeJobNotFound(w, r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
@@ -112,7 +168,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	job, deleted, err := s.mgr.Delete(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeAPIError(w, http.StatusNotFound, CodeJobNotFound, r.PathValue("id"), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"job": job, "deleted": deleted})
@@ -121,7 +177,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	data, ct, err := s.mgr.Result(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeAPIError(w, http.StatusNotFound, CodeJobNotFound, r.PathValue("id"), err)
 		return
 	}
 	w.Header().Set("Content-Type", ct)
@@ -135,7 +191,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.mgr.Stream(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeJobNotFound(w, r.PathValue("id"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -160,6 +216,120 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleFrames serves a completed job's stored frame history — the exact
+// bytes the live stream carried — optionally restricted to a seq range:
+// from= is inclusive (default 0), to= exclusive (0 or absent means the
+// end). This is the deterministic-replay read: `sops replay` and the UI's
+// re-render path consume it.
+func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from, to, err := frameRange(r)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidArgument, id, err)
+		return
+	}
+	job, ok := s.mgr.Job(id)
+	if !ok {
+		writeJobNotFound(w, id)
+		return
+	}
+	if !terminal(job.State) {
+		writeAPIError(w, http.StatusConflict, CodeJobNotComplete, id,
+			fmt.Errorf("job %s is %s; frames replay completed jobs (follow /stream for live frames)", id, job.State))
+		return
+	}
+	lines, err := s.mgr.FrameHistory(r.Context(), id)
+	if err != nil {
+		writeAPIError(w, http.StatusInternalServerError, CodeInternal, id, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	newline := []byte{'\n'}
+	for _, line := range lines {
+		if seq, ok := frameSeq(line); !ok || seq < from || (to > 0 && seq >= to) {
+			continue
+		}
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+		if _, err := w.Write(newline); err != nil {
+			return
+		}
+	}
+}
+
+// frameRange parses the from/to query parameters of the frames endpoint.
+func frameRange(r *http.Request) (from, to int, err error) {
+	q := r.URL.Query()
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"from", &from}, {"to", &to}} {
+		raw := q.Get(p.name)
+		if raw == "" {
+			continue
+		}
+		v, perr := strconv.Atoi(raw)
+		if perr != nil || v < 0 {
+			return 0, 0, fmt.Errorf("query parameter %s=%q: want a non-negative integer", p.name, raw)
+		}
+		*p.dst = v
+	}
+	return from, to, nil
+}
+
+// frameSeq extracts the seq a stored frame line carries.
+func frameSeq(line []byte) (int, bool) {
+	var f struct {
+		Seq *int `json:"seq"`
+	}
+	if err := json.Unmarshal(line, &f); err != nil || f.Seq == nil {
+		return 0, false
+	}
+	return *f.Seq, true
+}
+
+func (s *Server) handleTimelineCSV(w http.ResponseWriter, r *http.Request) {
+	s.serveTimeline(w, r, "csv", "text/csv; charset=utf-8")
+}
+
+func (s *Server) handleTimelineSVG(w http.ResponseWriter, r *http.Request) {
+	s.serveTimeline(w, r, "svg", "image/svg+xml")
+}
+
+// serveTimeline serves a completed job's timeline artifact, computing and
+// caching it in the job's workspace on first request (see timeline.go).
+func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request, format, ct string) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.Job(id)
+	if !ok {
+		writeJobNotFound(w, id)
+		return
+	}
+	if !terminal(job.State) {
+		writeAPIError(w, http.StatusConflict, CodeJobNotComplete, id,
+			fmt.Errorf("job %s is %s; timelines are built from completed jobs", id, job.State))
+		return
+	}
+	data, err := s.mgr.Timeline(r.Context(), &job, format)
+	switch {
+	case errors.Is(err, errNoFrames):
+		writeAPIError(w, http.StatusNotFound, CodeNoFrames, id, err)
+		return
+	case err != nil:
+		writeAPIError(w, http.StatusInternalServerError, CodeInternal, id, err)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func writeJobNotFound(w http.ResponseWriter, id string) {
+	writeAPIError(w, http.StatusNotFound, CodeJobNotFound, id, fmt.Errorf("unknown job %q", id))
+}
+
 // scenarioInfo is one GET /v1/scenarios entry: the registry row plus the
 // scenario's fully normalized default spec — what a bare
 // {"spec": {"scenario": name}} submission would run.
@@ -175,7 +345,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	for _, info := range infos {
 		spec, err := experiment.DefaultSpec(info.Name)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeAPIError(w, http.StatusInternalServerError, CodeInternal, "", err)
 			return
 		}
 		out = append(out, scenarioInfo{Name: info.Name, Description: info.Description, DefaultSpec: spec})
@@ -189,8 +359,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

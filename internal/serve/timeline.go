@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"sops/internal/viz"
+)
+
+// Timeline analytics: per-job perimeter / energy / order-parameter curves
+// over simulation time, derived from the job's frame history and served as
+// timeline.csv and timeline.svg. Artifacts are computed once per workload
+// and cached in the job's content-addressed workspace next to the COMPLETE
+// marker — the same discipline as the result cache, so identical jobs
+// (and every cluster node, through the shared store) serve one set of
+// bytes. Rows are sorted by (series, rep, iteration), which makes the CSV
+// and SVG byte-deterministic even though a parallel sweep's frames land in
+// the log in scheduling order.
+
+// errNoFrames reports a completed job without snapshot frames: nothing to
+// build a timeline from (the job ran with SnapshotEvery == 0, or its
+// history predates this process and was never mirrored).
+var errNoFrames = errors.New("serve: job has no snapshot frames (run it with snapshot_every > 0)")
+
+// Timeline artifact file names inside a workspace.
+const (
+	timelineCSVFile = "timeline.csv"
+	timelineSVGFile = "timeline.svg"
+)
+
+// FrameHistory collects a terminal job's full frame log: the same bytes a
+// /stream follower would have received, through the same hydration paths
+// (in-memory log, stored run frames, or the cluster mirror — tailed from
+// the owner when this node never ran the job). The caller's ctx bounds the
+// collection; for terminal jobs every source drains promptly.
+func (m *Manager) FrameHistory(ctx context.Context, id string) ([][]byte, error) {
+	st, ok := m.Stream(id)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown job %q", id)
+	}
+	var lines [][]byte
+	if err := st.follow(ctx, func(line []byte) error {
+		lines = append(lines, line)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return lines, nil
+}
+
+// timelineRow is one snapshot frame flattened for the artifacts. Series
+// labels sweep frames with their point (λ, n, engine, …); run-job frames
+// all share the "run" series.
+type timelineRow struct {
+	series    string
+	rep       int
+	iteration uint64
+	perimeter int
+	edges     int
+	energy    int
+	alpha     float64
+	beta      float64
+	order     float64
+}
+
+// timelineRows extracts and deterministically orders the snapshot rows of
+// a frame history.
+func timelineRows(lines [][]byte) []timelineRow {
+	var rows []timelineRow
+	for _, line := range lines {
+		var f Frame
+		if err := json.Unmarshal(line, &f); err != nil || f.Type != FrameSnapshot || f.Snapshot == nil {
+			continue
+		}
+		row := timelineRow{
+			series:    "run",
+			rep:       f.Rep,
+			iteration: f.Snapshot.Iteration,
+			perimeter: f.Snapshot.Perimeter,
+			edges:     f.Snapshot.Edges,
+			energy:    f.Snapshot.Energy,
+			alpha:     f.Snapshot.Alpha,
+			beta:      f.Snapshot.Beta,
+		}
+		if f.Point != nil {
+			row.series = f.Point.String()
+		}
+		if row.edges > 0 {
+			// The order parameter: H(σ) as a fraction of the edges it could
+			// act on — the aligned-edge fraction for alignment, identically
+			// 1 for compression (H = e(σ)).
+			row.order = float64(row.energy) / float64(row.edges)
+		}
+		rows = append(rows, row)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.series != b.series {
+			return a.series < b.series
+		}
+		if a.rep != b.rep {
+			return a.rep < b.rep
+		}
+		return a.iteration < b.iteration
+	})
+	return rows
+}
+
+// timelineCSV renders the rows as the documented CSV schema. Floats use
+// strconv's shortest round-trip form, so the bytes are a pure function of
+// the frame history.
+func timelineCSV(rows []timelineRow) []byte {
+	buf := []byte("series,rep,iteration,perimeter,edges,energy,alpha,beta,order\n")
+	for _, r := range rows {
+		buf = append(buf, csvQuote(r.series)...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.rep), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, r.iteration, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.perimeter), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.edges), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.energy), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, r.alpha, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, r.beta, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, r.order, 'g', -1, 64)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// csvQuote quotes a field when it needs it (series labels contain spaces
+// but normally no separators; quoting is belt and braces).
+func csvQuote(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// timelineSVG renders the rows as the stacked perimeter / energy / order
+// chart via the viz timeline renderer (one reusable-buffer append path,
+// like frame SVGs).
+func timelineSVG(rows []timelineRow) []byte {
+	panel := func(title string, y func(timelineRow) float64) viz.TimelinePanel {
+		byKey := map[string]*viz.TimelineSeries{}
+		var order []string
+		for _, r := range rows {
+			key := r.series
+			if r.rep > 0 {
+				key = fmt.Sprintf("%s rep=%d", r.series, r.rep)
+			}
+			s, ok := byKey[key]
+			if !ok {
+				s = &viz.TimelineSeries{Label: key}
+				byKey[key] = s
+				order = append(order, key)
+			}
+			s.X = append(s.X, float64(r.iteration))
+			s.Y = append(s.Y, y(r))
+		}
+		p := viz.TimelinePanel{Title: title}
+		for _, key := range order {
+			p.Series = append(p.Series, *byKey[key])
+		}
+		return p
+	}
+	panels := []viz.TimelinePanel{
+		panel("perimeter", func(r timelineRow) float64 { return float64(r.perimeter) }),
+		panel("energy H(σ)", func(r timelineRow) float64 { return float64(r.energy) }),
+		panel("order parameter", func(r timelineRow) float64 { return r.order }),
+	}
+	return viz.AppendTimelineSVG(nil, "job timeline", panels)
+}
+
+// Timeline returns a terminal job's timeline artifact in the requested
+// format ("csv" or "svg"). Cached artifacts in the job's workspace are
+// served as stored; otherwise both formats are computed from the frame
+// history in one pass and — when the workspace carries the workload's
+// COMPLETE marker — persisted atomically for every later request (and, in
+// cluster mode, every other node).
+func (m *Manager) Timeline(ctx context.Context, job *Job, format string) ([]byte, error) {
+	var file string
+	switch format {
+	case "csv":
+		file = timelineCSVFile
+	case "svg":
+		file = timelineSVGFile
+	default:
+		return nil, fmt.Errorf("serve: unknown timeline format %q (want csv or svg)", format)
+	}
+	dir := m.workspace(job)
+	_, complete := readCompletion(dir, job.Digest)
+	if complete {
+		if data, err := os.ReadFile(filepath.Join(dir, file)); err == nil {
+			return data, nil
+		}
+	}
+	lines, err := m.FrameHistory(ctx, job.ID)
+	if err != nil {
+		return nil, err
+	}
+	rows := timelineRows(lines)
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: job %s", errNoFrames, job.ID)
+	}
+	csvData, svgData := timelineCSV(rows), timelineSVG(rows)
+	if complete {
+		// Cache under the COMPLETE discipline: the marker is already the
+		// workspace's commit point, so the artifacts just land next to it
+		// atomically. A concurrent request computes identical bytes — the
+		// rows are sorted — so the last rename winning is harmless.
+		_ = writeFileAtomic(filepath.Join(dir, timelineCSVFile), csvData)
+		_ = writeFileAtomic(filepath.Join(dir, timelineSVGFile), svgData)
+	}
+	if format == "csv" {
+		return csvData, nil
+	}
+	return svgData, nil
+}

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+)
+
+// The embedded observatory UI. `sops serve` ships its own front-end: a
+// single static page (internal/serve/ui/) compiled into the binary with
+// go:embed, so watching a run needs nothing beyond the server itself. The
+// page is a pure API client — it talks to the same /v1 routes as
+// internal/client and curl, which keeps it an honest consumer of the
+// documented contract.
+
+//go:embed ui
+var uiFS embed.FS
+
+// handleUIIndex serves the observatory page at /.
+func handleUIIndex(w http.ResponseWriter, r *http.Request) {
+	data, err := uiFS.ReadFile("ui/index.html")
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// uiFileServer serves the ui/ subtree (for any assets beyond the index).
+func uiFileServer() http.Handler {
+	sub, err := fs.Sub(uiFS, "ui")
+	if err != nil {
+		// The subtree is embedded at compile time; failure here is a build
+		// defect, not a runtime condition.
+		panic(err)
+	}
+	return http.FileServerFS(sub)
+}

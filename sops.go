@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"sops/internal/client"
 	"sops/internal/experiment"
 	"sops/internal/metrics"
 	"sops/internal/runner"
@@ -158,3 +159,23 @@ type JobServer = serve.Server
 // pool behind a ready-to-mount handler. Close it to shut the pool down;
 // incomplete sweeps journal and resume on the next NewJobServer.
 func NewJobServer(opt ServeOptions) (*JobServer, error) { return serve.New(opt) }
+
+// The client API: the typed Go client for a running JobServer — the same
+// /v1 contract (API.md) the CLI, curl, and the embedded observatory UI
+// speak. Non-2xx responses decode into *APIClientError with the server's
+// machine-readable code.
+
+// APIClient talks to one sops serve node.
+type APIClient = client.Client
+
+// APIClientError is a non-2xx /v1 response: HTTP status plus the decoded
+// error envelope (code, message, job id).
+type APIClientError = client.Error
+
+// APIClientOption configures an APIClient (HTTP transport, client id).
+type APIClientOption = client.Option
+
+// NewAPIClient returns a client for the node at baseURL.
+func NewAPIClient(baseURL string, opts ...APIClientOption) *APIClient {
+	return client.New(baseURL, opts...)
+}
