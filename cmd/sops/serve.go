@@ -35,6 +35,7 @@ func cmdServe(args []string) error {
 
 		maxActive = fs.Int("max-active", 0, "shed submissions (429) beyond this many active jobs (0 = unlimited)")
 		quota     = fs.Int("client-quota", 0, "shed submissions (429) beyond this many active jobs per X-Sops-Client (0 = unlimited)")
+		pprof     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	)
 	fs.Parse(args)
 
@@ -43,7 +44,7 @@ func cmdServe(args []string) error {
 	handle, err := startServe(*addr, sops.ServeOptions{
 		Dir: *dir, Jobs: *jobs, TaskWorkers: *workers, QueueDepth: *queue,
 		NodeID: *nodeID, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat, ScanEvery: *scanEvery,
-		MaxActive: *maxActive, ClientQuota: *quota,
+		MaxActive: *maxActive, ClientQuota: *quota, Pprof: *pprof,
 	})
 	if err != nil {
 		return err

@@ -138,6 +138,9 @@ func (a *Activation) Payload() uint8 { return a.w.tails.Payload(a.p.tail) }
 func (a *Activation) setPayload(v uint8) {
 	a.w.tails.SetPayload(a.p.tail, v)
 	a.w.rotations++
+	if a.w.mlog != nil {
+		a.w.mlog.Rotated(a.p.tail, v)
+	}
 }
 
 // sameNeighborMask returns the 6-bit mask of tail neighbors of the

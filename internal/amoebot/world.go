@@ -11,6 +11,7 @@ import (
 	"math/rand/v2"
 
 	"sops/internal/config"
+	"sops/internal/frame"
 	"sops/internal/grid"
 	"sops/internal/lattice"
 	"sops/internal/rule"
@@ -78,7 +79,18 @@ type World struct {
 	live          int
 	expandedCount int
 	activatedThis map[ParticleID]struct{}
+
+	mlog *frame.MoveLog // accepted-move tap for delta frame encoding; may be nil
 }
+
+// SetMoveLog attaches a move log that records every completed relocation
+// and payload change (for delta frame encoding). Pass nil to detach. Only
+// meaningful under a sequential scheduler: the log is not synchronized.
+func (w *World) SetMoveLog(l *frame.MoveLog) { w.mlog = l }
+
+// Tails exposes the bit-packed tail-occupancy grid for read-only
+// observation; mutating it corrupts the world.
+func (w *World) Tails() *grid.Grid { return w.tails }
 
 // NewWorld places one contracted particle on every occupied node of σ0,
 // which must be non-empty and connected.
@@ -239,6 +251,9 @@ func (w *World) contractToHead(p *Particle) {
 	}
 	delete(w.cells, p.tail)
 	w.tails.Move(p.tail, p.head)
+	if w.mlog != nil {
+		w.mlog.Moved(p.tail, p.head, w.tails.Payload(p.head))
+	}
 	p.tail = p.head
 	w.cells[p.head] = cell{id: p.id}
 	w.moves++

@@ -25,6 +25,7 @@ import (
 	"math/rand/v2"
 
 	"sops/internal/config"
+	"sops/internal/frame"
 	"sops/internal/grid"
 	"sops/internal/lattice"
 	"sops/internal/move"
@@ -85,7 +86,13 @@ type Chain struct {
 	accepted  uint64
 	rotations uint64
 	holesGone bool // set once a hole-free configuration has been observed
+
+	mlog *frame.MoveLog // accepted-move tap for delta frame encoding; may be nil
 }
+
+// SetMoveLog attaches a move log that records every accepted move and
+// payload rotation (for delta frame encoding). Pass nil to detach.
+func (c *Chain) SetMoveLog(l *frame.MoveLog) { c.mlog = l }
 
 // New creates a compression chain (Markov chain M, possibly ablated via
 // options) over a copy of the starting configuration σ0, which must be
@@ -395,6 +402,9 @@ func (c *Chain) Step() bool {
 	c.points[i] = lp
 	c.hval += delta
 	c.accepted++
+	if c.mlog != nil {
+		c.mlog.Moved(l, lp, c.g.Payload(lp))
+	}
 	return true
 }
 
@@ -412,6 +422,9 @@ func (c *Chain) stepRotate(l lattice.Point, j int) bool {
 	c.g.SetPayload(l, t)
 	c.hval += delta
 	c.rotations++
+	if c.mlog != nil {
+		c.mlog.Rotated(l, t)
+	}
 	return true
 }
 
@@ -440,6 +453,9 @@ func (c *Chain) stepReference(i int, l lattice.Point, d lattice.Dir) bool {
 	c.points[i] = lp
 	c.edges += ep - e
 	c.accepted++
+	if c.mlog != nil {
+		c.mlog.Moved(l, lp, 0)
+	}
 	return true
 }
 

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"sops/internal/frame"
 	"sops/internal/serve"
 )
 
@@ -198,15 +199,24 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, string, error) 
 // newline); returning an error stops the stream and is returned (except
 // io.EOF, which stops it silently). The raw line is only valid during the
 // call — copy it to keep it.
+//
+// The wire carries the binary frame records (?format=binary); the client
+// transcodes locally, so fn sees exactly the NDJSON lines the JSON endpoint
+// would serve while the server does no per-follower encoding.
 func (c *Client) Stream(ctx context.Context, id string, fn func(f serve.Frame, raw []byte) error) error {
-	return c.ndjson(ctx, "/v1/jobs/"+url.PathEscape(id)+"/stream", fn)
+	return c.binaryFrames(ctx, "/v1/jobs/"+url.PathEscape(id)+"/stream?format=binary", fn)
 }
 
 // Replay fetches a completed job's stored frames — byte-identical to what
 // the live stream carried — optionally restricted to [from, to) by seq
-// (to == 0 means the end). fn is called as in Stream.
+// (to == 0 means the end). fn is called as in Stream. Full replays ride the
+// binary format; seq-ranged replays use the JSON endpoint (binary records
+// are delta-coded and only serve whole logs).
 func (c *Client) Replay(ctx context.Context, id string, from, to int, fn func(f serve.Frame, raw []byte) error) error {
 	path := "/v1/jobs/" + url.PathEscape(id) + "/frames"
+	if from == 0 && to == 0 {
+		return c.binaryFrames(ctx, path+"?format=binary", fn)
+	}
 	q := url.Values{}
 	if from > 0 {
 		q.Set("from", strconv.Itoa(from))
@@ -214,10 +224,7 @@ func (c *Client) Replay(ctx context.Context, id string, from, to int, fn func(f 
 	if to > 0 {
 		q.Set("to", strconv.Itoa(to))
 	}
-	if len(q) > 0 {
-		path += "?" + q.Encode()
-	}
-	return c.ndjson(ctx, path, fn)
+	return c.ndjson(ctx, path+"?"+q.Encode(), fn)
 }
 
 // ndjson streams an NDJSON endpoint through fn.
@@ -227,7 +234,51 @@ func (c *Client) ndjson(ctx context.Context, path string, fn func(f serve.Frame,
 		return err
 	}
 	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
+	return scanLines(resp.Body, fn)
+}
+
+// binaryFrames streams a binary frame-log endpoint through fn, transcoding
+// each record to its NDJSON line locally. A server answering with NDJSON
+// anyway (no binary support) is consumed as such.
+func (c *Client) binaryFrames(ctx context.Context, path string, fn func(f serve.Frame, raw []byte) error) error {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("Content-Type") != serve.FramesContentType {
+		return scanLines(resp.Body, fn)
+	}
+	var tr serve.FrameTranscoder
+	rd := frame.NewReader(resp.Body)
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("client: reading frame record: %w", err)
+		}
+		line, err := tr.Transcode(rec)
+		if err != nil {
+			return fmt.Errorf("client: decoding frame record: %w", err)
+		}
+		var f serve.Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return fmt.Errorf("client: decoding frame: %w", err)
+		}
+		if err := fn(f, line); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// scanLines feeds an NDJSON body through fn.
+func scanLines(body io.Reader, fn func(f serve.Frame, raw []byte) error) error {
+	sc := bufio.NewScanner(body)
 	// Frames with embedded SVG easily clear bufio's 64 KiB default.
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	for sc.Scan() {

@@ -1,0 +1,366 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"sops/internal/grid"
+	"sops/internal/lattice"
+)
+
+func TestHeader(t *testing.T) {
+	h := Header()
+	if len(h) != HeaderSize {
+		t.Fatalf("header size = %d, want %d", len(h), HeaderSize)
+	}
+	if !HasHeader(h) {
+		t.Fatal("HasHeader(Header()) = false")
+	}
+	if HasHeader([]byte("SOPX1234")) {
+		t.Fatal("HasHeader accepted wrong magic")
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	line := []byte(`{"type":"done","seq":7}`)
+	rec := Raw(line)
+	if k, err := Kind(rec); err != nil || k != KindRaw {
+		t.Fatalf("Kind = %v, %v", k, err)
+	}
+	got, ok := RawBody(rec)
+	if !ok || !bytes.Equal(got, line) {
+		t.Fatalf("RawBody = %q, %v", got, ok)
+	}
+	var d Decoder
+	r, err := d.Decode(rec)
+	if err != nil || r.Kind != KindRaw || !bytes.Equal(r.Raw, line) {
+		t.Fatalf("Decode raw = %+v, %v", r, err)
+	}
+}
+
+// line builds a horizontal run of n occupied sites starting at p.
+func line(p lattice.Point, n int) []lattice.Point {
+	pts := make([]lattice.Point, n)
+	for i := range pts {
+		pts[i] = lattice.Point{X: p.X + i, Y: p.Y}
+	}
+	return pts
+}
+
+// checkState compares the decoder's held configuration (points and
+// payloads) against the authoritative grid.
+func checkState(t *testing.T, d *Decoder, g *grid.Grid) {
+	t.Helper()
+	want := g.AppendPoints(nil)
+	got := d.Points()
+	if len(got) != len(want) {
+		t.Fatalf("points: got %d, want %d", len(got), len(want))
+	}
+	pays := d.Payloads()
+	if len(pays) != len(got) {
+		t.Fatalf("payloads: %d entries for %d points", len(pays), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: got %v, want %v", i, got[i], want[i])
+		}
+		if pays[i] != g.Payload(want[i]) {
+			t.Fatalf("payload at %v: got %d, want %d", want[i], pays[i], g.Payload(want[i]))
+		}
+	}
+}
+
+func TestKeyframeDeltaRoundTrip(t *testing.T) {
+	g := grid.New(line(lattice.Point{}, 8), 0)
+	g.EnablePayload()
+	for i := 0; i < 8; i++ {
+		g.SetPayload(lattice.Point{X: i}, uint8(i%6))
+	}
+	var (
+		enc Encoder
+		dec Decoder
+		log MoveLog
+	)
+	rng := rand.New(rand.NewSource(42))
+	pts := g.AppendPoints(nil)
+	snapAt := func(seq int) Snap {
+		return Snap{
+			Seq: seq, Iteration: uint64(seq) * 100,
+			Perimeter: g.Perimeter(), Edges: g.Edges(), Energy: -g.Edges(),
+			Alpha: 1.25, Beta: 0.75, HoleFree: true, Payloads: true,
+		}
+	}
+	for seq := 0; seq < 100; seq++ {
+		// A few random single-particle moves and rotations per interval.
+		for m := 0; m < 3; m++ {
+			i := rng.Intn(len(pts))
+			p := pts[i]
+			if rng.Intn(2) == 0 {
+				pay := uint8(rng.Intn(6))
+				g.SetPayload(p, pay)
+				log.Rotated(p, pay)
+				continue
+			}
+			q := lattice.Point{X: p.X + rng.Intn(5) - 2, Y: p.Y + rng.Intn(5) - 2}
+			if q == p || g.Has(q) {
+				continue
+			}
+			pay := g.Payload(p)
+			g.Move(p, q)
+			g.SetPayload(q, pay)
+			log.Moved(p, q, pay)
+			pts[i] = q
+		}
+		s := snapAt(seq)
+		rec := enc.EncodeSnapshot(s, log.Drain(), true, g)
+		r, err := dec.Decode(rec)
+		if err != nil {
+			t.Fatalf("seq %d: decode: %v", seq, err)
+		}
+		if r.Snap != s {
+			t.Fatalf("seq %d: snap = %+v, want %+v", seq, r.Snap, s)
+		}
+		if seq == 0 && r.Kind != KindKeyframe {
+			t.Fatalf("first record kind = %#x, want keyframe", r.Kind)
+		}
+		checkState(t, &dec, g)
+	}
+}
+
+func TestUntrackedForcesKeyframe(t *testing.T) {
+	g := grid.New(line(lattice.Point{}, 5), 0)
+	var enc Encoder
+	enc.EncodeSnapshot(Snap{Seq: 0}, nil, true, g)
+	rec := enc.EncodeSnapshot(Snap{Seq: 1}, nil, false, g)
+	if k, _ := Kind(rec); k != KindKeyframe {
+		t.Fatalf("untracked interval kind = %#x, want keyframe", k)
+	}
+}
+
+func TestKeyframeCadence(t *testing.T) {
+	g := grid.New(line(lattice.Point{}, 5), 0)
+	enc := Encoder{KeyframeEvery: 4}
+	var kinds []byte
+	for seq := 0; seq < 10; seq++ {
+		rec := enc.EncodeSnapshot(Snap{Seq: seq}, nil, true, g)
+		k, err := Kind(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, k)
+	}
+	want := []byte{KindKeyframe, KindDelta, KindDelta, KindDelta, KindDelta,
+		KindKeyframe, KindDelta, KindDelta, KindDelta, KindDelta}
+	if !bytes.Equal(kinds, want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+// TestCoalesce checks that multi-hop and round-trip moves net out.
+func TestCoalesce(t *testing.T) {
+	g := grid.New(line(lattice.Point{}, 4), 0)
+	var enc Encoder
+	var dec Decoder
+	if _, err := dec.Decode(enc.EncodeSnapshot(Snap{Seq: 0}, nil, true, g)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A → B → C in one interval plus D → E → D (net no-op).
+	a, c := lattice.Point{X: 0}, lattice.Point{X: 5}
+	b := lattice.Point{X: 4}
+	d, e := lattice.Point{X: 2}, lattice.Point{X: 2, Y: 1}
+	var log MoveLog
+	g.Move(a, b)
+	log.Moved(a, b, 0)
+	g.Move(b, c)
+	log.Moved(b, c, 0)
+	g.Move(d, e)
+	log.Moved(d, e, 0)
+	g.Move(e, d)
+	log.Moved(e, d, 0)
+
+	rec := enc.EncodeSnapshot(Snap{Seq: 1}, log.Drain(), true, g)
+	if k, _ := Kind(rec); k != KindDelta {
+		t.Fatalf("kind = %#x, want delta", k)
+	}
+	if _, err := dec.Decode(rec); err != nil {
+		t.Fatal(err)
+	}
+	checkState(t, &dec, g)
+}
+
+func TestDeltaLargerThanKeyframeResyncs(t *testing.T) {
+	g := grid.New(line(lattice.Point{}, 3), 0)
+	var enc Encoder
+	enc.EncodeSnapshot(Snap{Seq: 0}, nil, true, g)
+	// Move every particle: the delta (3 removed + 3 added) is not smaller
+	// than a 3-point keyframe, so the encoder must resync.
+	var log MoveLog
+	for i := 0; i < 3; i++ {
+		from := lattice.Point{X: i}
+		to := lattice.Point{X: i, Y: 2}
+		g.Move(from, to)
+		log.Moved(from, to, 0)
+	}
+	rec := enc.EncodeSnapshot(Snap{Seq: 1}, log.Drain(), true, g)
+	if k, _ := Kind(rec); k != KindKeyframe {
+		t.Fatalf("kind = %#x, want keyframe", k)
+	}
+}
+
+func TestScannerChunked(t *testing.T) {
+	var logBuf []byte
+	logBuf = AppendHeader(logBuf)
+	lines := [][]byte{
+		[]byte(`{"type":"snapshot","seq":0}`),
+		[]byte(`{"type":"snapshot","seq":1}`),
+		[]byte(`{"type":"done","seq":2}`),
+	}
+	for _, l := range lines {
+		logBuf = AppendRaw(logBuf, l)
+	}
+	// Feed one byte at a time; records must come out whole and in order.
+	var sc Scanner
+	var got [][]byte
+	for _, b := range logBuf {
+		sc.Write([]byte{b})
+		for {
+			rec, ok := sc.Next()
+			if !ok {
+				break
+			}
+			got = append(got, rec)
+		}
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if sc.Buffered() != 0 {
+		t.Fatalf("buffered = %d, want 0", sc.Buffered())
+	}
+	if len(got) != len(lines) {
+		t.Fatalf("records = %d, want %d", len(got), len(lines))
+	}
+	for i, rec := range got {
+		body, ok := RawBody(rec)
+		if !ok || !bytes.Equal(body, lines[i]) {
+			t.Fatalf("record %d = %q", i, body)
+		}
+	}
+}
+
+func TestScannerHeaderless(t *testing.T) {
+	var sc Scanner
+	sc.Write(Raw([]byte(`{"type":"done"}`)))
+	if _, ok := sc.Next(); !ok {
+		t.Fatal("headerless record not scanned")
+	}
+}
+
+func TestScannerBadVersion(t *testing.T) {
+	h := Header()
+	h[4] = 99
+	var sc Scanner
+	sc.Write(h)
+	if _, ok := sc.Next(); ok {
+		t.Fatal("scanned record from bad-version log")
+	}
+	if !errors.Is(sc.Err(), ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", sc.Err())
+	}
+}
+
+func TestSplitAndCount(t *testing.T) {
+	var logBuf []byte
+	logBuf = AppendHeader(logBuf)
+	for i := 0; i < 5; i++ {
+		logBuf = AppendRaw(logBuf, []byte(`{"seq":0}`))
+	}
+	recs, err := Split(logBuf)
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("Split = %d recs, %v", len(recs), err)
+	}
+	if n := Count(logBuf); n != 5 {
+		t.Fatalf("Count = %d, want 5", n)
+	}
+	// Truncate mid-record: Split errors, Count ignores the tail.
+	trunc := logBuf[:len(logBuf)-3]
+	if _, err := Split(trunc); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Split(truncated) err = %v", err)
+	}
+	if n := Count(trunc); n != 4 {
+		t.Fatalf("Count(truncated) = %d, want 4", n)
+	}
+}
+
+func TestReader(t *testing.T) {
+	var logBuf []byte
+	logBuf = AppendHeader(logBuf)
+	logBuf = AppendRaw(logBuf, []byte(`{"seq":0}`))
+	logBuf = AppendRaw(logBuf, []byte(`{"seq":1}`))
+
+	r := NewReader(bytes.NewReader(logBuf))
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+
+	r = NewReader(bytes.NewReader(logBuf[:len(logBuf)-2]))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestDecodeTruncated feeds every prefix of a valid snapshot record to a
+// fresh decoder: none may panic, all must error (except the full record).
+func TestDecodeTruncated(t *testing.T) {
+	g := grid.New(line(lattice.Point{}, 6), 0)
+	g.EnablePayload()
+	var enc Encoder
+	rec := enc.EncodeSnapshot(Snap{Seq: 3, Iteration: 7, Perimeter: 9,
+		Edges: 5, Energy: -5, Alpha: 2.5, Beta: 1.1, Payloads: true}, nil, true, g)
+	for n := 0; n < len(rec); n++ {
+		var d Decoder
+		if _, err := d.Decode(rec[:n]); err == nil {
+			t.Fatalf("Decode of %d/%d-byte prefix succeeded", n, len(rec))
+		}
+	}
+	var d Decoder
+	if _, err := d.Decode(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilMoveLog(t *testing.T) {
+	var l *MoveLog
+	l.Moved(lattice.Point{}, lattice.Point{X: 1}, 0)
+	l.Rotated(lattice.Point{}, 1)
+	l.Append(nil)
+	if l.Len() != 0 || l.Drain() != nil {
+		t.Fatal("nil MoveLog not inert")
+	}
+}
+
+func TestMoveLogAppend(t *testing.T) {
+	var a, b MoveLog
+	a.Moved(lattice.Point{}, lattice.Point{X: 1}, 0)
+	b.Moved(lattice.Point{X: 2}, lattice.Point{X: 3}, 4)
+	a.Append(&b)
+	if a.Len() != 2 || b.Len() != 0 {
+		t.Fatalf("after Append: a=%d b=%d", a.Len(), b.Len())
+	}
+	moves := a.Drain()
+	if moves[1].Payload != 4 || a.Len() != 0 {
+		t.Fatalf("drain = %+v", moves)
+	}
+}

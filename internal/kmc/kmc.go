@@ -41,6 +41,7 @@ import (
 	"math/rand/v2"
 
 	"sops/internal/config"
+	"sops/internal/frame"
 	"sops/internal/grid"
 	"sops/internal/lattice"
 	"sops/internal/rule"
@@ -113,7 +114,13 @@ type Chain struct {
 	// the dirty-reprice loop cannot clobber the sampler's view.
 	slotBuf []float64
 	payBuf  []float64
+
+	mlog *frame.MoveLog // accepted-move tap for delta frame encoding; may be nil
 }
+
+// SetMoveLog attaches a move log that records every applied translation
+// and rotation (for delta frame encoding). Pass nil to detach.
+func (c *Chain) SetMoveLog(l *frame.MoveLog) { c.mlog = l }
 
 // New creates a rejection-free compression chain (possibly ablated via
 // options) over a copy of the starting configuration σ0, which must be
@@ -557,6 +564,9 @@ func (c *Chain) fireTranslation(i int) {
 	c.idx.set(lp, int32(i), c.points)
 	c.events++
 	c.moves++
+	if c.mlog != nil {
+		c.mlog.Moved(l, lp, 0)
+	}
 
 	// Re-classify the dirty neighborhood: every occupied cell whose masks
 	// can see ℓ or ℓ′, including the moved particle itself. DirtyWindows
@@ -613,6 +623,9 @@ func (c *Chain) fireSlot(i int) {
 		c.idx.set(lp, int32(i), c.points)
 		c.events++
 		c.moves++
+		if c.mlog != nil {
+			c.mlog.Moved(l, lp, c.g.Payload(lp))
+		}
 		c.dirtyPts = c.g.OccupiedNearPair(l, d, c.dirtyPts[:0])
 	} else {
 		// Rotation: the j-th alternative state in ascending order.
@@ -621,6 +634,9 @@ func (c *Chain) fireSlot(i int) {
 		c.g.SetPayload(l, t)
 		c.events++
 		c.rots++
+		if c.mlog != nil {
+			c.mlog.Rotated(l, t)
+		}
 		// A payload change dirties only the rotating cell's radius-2
 		// neighborhood, itself included.
 		c.dirtyPts = c.g.OccupiedNearCell(l, c.dirtyPts[:0])

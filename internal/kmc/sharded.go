@@ -47,6 +47,7 @@ import (
 	"sync"
 
 	"sops/internal/config"
+	"sops/internal/frame"
 	"sops/internal/grid"
 	"sops/internal/lattice"
 	"sops/internal/rule"
@@ -107,6 +108,12 @@ type stripe struct {
 	// at the barrier (the mover plus every dirty boundary-active cell).
 	bndTouch []int32
 	dirtyBuf []grid.CellWindow
+
+	// mlog collects the stripe's interior moves during the concurrent
+	// phase; merged into the shared log at the barrier. Stripe interiors
+	// partition the rows, so per-round concatenation in stripe order is a
+	// reordering of commuting (site-disjoint) moves.
+	mlog frame.MoveLog
 }
 
 // Sharded is a stripe-decomposed rejection-free chain over a stateless
@@ -148,7 +155,18 @@ type Sharded struct {
 	holesGone            bool
 	dirtyBuf             []grid.CellWindow
 	yScratch             []int
+
+	mlog *frame.MoveLog // accepted-move tap for delta frame encoding; may be nil
 }
+
+// SetMoveLog attaches a move log that records every applied move (for
+// delta frame encoding). Pass nil to detach. Interior moves surface in the
+// log at round barriers, which is exactly when callers observe the grid.
+func (s *Sharded) SetMoveLog(l *frame.MoveLog) { s.mlog = l }
+
+// Grid exposes the live occupancy grid for read-only observation; mutating
+// it corrupts the chain.
+func (s *Sharded) Grid() *grid.Grid { return s.g }
 
 // dirDY[d] is the row delta of a move in direction d (always in {−1, 0, 1}).
 var dirDY = func() (dy [lattice.NumDirs]int) {
@@ -424,6 +442,7 @@ func (s *Sharded) runRound(tau uint64) uint64 {
 		s.hval += st.hDelta
 		s.g.AddEdgeCount(st.eDelta)
 		st.events, st.moves, st.hDelta, st.eDelta = 0, 0, 0, 0
+		s.mlog.Append(&st.mlog)
 		for _, i := range st.bndTouch {
 			s.refreshBoundary(i)
 		}
@@ -575,6 +594,9 @@ func (s *Sharded) applyInterior(st *stripe, i int32, d lattice.Dir, allowGrow bo
 	s.idx.set(dst, i, s.points)
 	st.events++
 	st.moves++
+	if s.mlog != nil {
+		st.mlog.Moved(l, dst, 0)
+	}
 
 	st.dirtyBuf = s.g.DirtyWindows(l, d, st.dirtyBuf[:0])
 	for _, cw := range st.dirtyBuf {
@@ -705,6 +727,7 @@ func (s *Sharded) fireBoundary() bool {
 	s.idx.set(dst, i, s.points)
 	s.events++
 	s.moves++
+	s.mlog.Moved(l, dst, 0)
 
 	// Migration across a cut: move the interior weight custody to the new
 	// home before the generic dirty sweep below re-prices it.

@@ -14,6 +14,8 @@ import (
 	"sops/internal/amoebot"
 	"sops/internal/chain"
 	"sops/internal/config"
+	"sops/internal/frame"
+	"sops/internal/grid"
 	"sops/internal/kmc"
 	"sops/internal/lattice"
 	"sops/internal/metrics"
@@ -67,6 +69,12 @@ type Sequential interface {
 	Config() *config.Config
 	N() int
 	Lambda() float64
+	// SetMoveLog attaches a tap recording every accepted move and payload
+	// rotation; nil detaches. Grid exposes the live occupancy grid for
+	// read-only observation between Run calls. Together they feed the
+	// delta frame encoder (Options.DeltaFunc).
+	SetMoveLog(*frame.MoveLog)
+	Grid() *grid.Grid
 }
 
 var (
@@ -269,6 +277,12 @@ type Options struct {
 	// appended to Result.Snapshots. The `sops serve` streaming endpoint
 	// hooks here; the callback must not retain the engine.
 	SnapshotFunc func(Snapshot) `json:"-"`
+	// DeltaFunc, when non-nil, additionally receives every snapshot
+	// together with the accepted moves of its interval and the engine's
+	// live grid — the hook behind the binary delta frame encoder of
+	// `sops serve`. The Delta's slices and grid are valid only during the
+	// callback. Called after SnapshotFunc.
+	DeltaFunc func(Snapshot, Delta) `json:"-"`
 	// Interrupt, when non-nil, is polled at every snapshot boundary (and
 	// once before an unsnapshotted run): returning true stops the run and
 	// Compress returns ErrInterrupted. With SnapshotEvery zero the poll
@@ -460,6 +474,9 @@ func compressSequential(engine string, opts Options, ru *rule.Rule, start *confi
 	total := opts.iterations()
 	res := &Result{N: opts.N, Lambda: opts.Lambda, Rule: ru.Name()}
 	snap := newSnapshotter(opts)
+	if log := snap.attach(c.Grid, true, ru); log != nil {
+		c.SetMoveLog(log)
+	}
 	if err := runWithSnapshots(total, opts, func(k uint64) {
 		c.Run(k)
 	}, func(done uint64) Snapshot {
@@ -521,6 +538,11 @@ func compressDistributed(opts Options, ru *rule.Rule, start *config.Config) (*Re
 	}
 	total := opts.iterations()
 	snap := newSnapshotter(opts)
+	// Concurrent activations cannot log moves coherently; the delta tap
+	// then marks intervals untracked and every frame becomes a keyframe.
+	if log := snap.attach(w.Tails, opts.Workers <= 1, ru); log != nil {
+		w.SetMoveLog(log)
+	}
 	if err := runWithSnapshots(total, opts, runChunk, func(done uint64) Snapshot {
 		cfg := w.Config()
 		p := cfg.Perimeter()
@@ -545,17 +567,57 @@ func compressDistributed(opts Options, ru *rule.Rule, start *config.Config) (*Re
 	return res, nil
 }
 
+// Delta carries the incremental state behind one snapshot to
+// Options.DeltaFunc.
+type Delta struct {
+	// Moves are the accepted moves of the snapshot interval, in
+	// application order. Valid only during the callback.
+	Moves []frame.Move
+	// Tracked reports whether Moves is a complete account of the interval.
+	// False under concurrent amoebot execution, where moves are not
+	// logged; consumers must then treat every snapshot as a keyframe.
+	Tracked bool
+	// Payloads reports whether the run's rule carries per-particle
+	// payload state.
+	Payloads bool
+	// Grid is the engine's live configuration at the snapshot instant.
+	// Read-only, valid only during the callback.
+	Grid *grid.Grid
+}
+
 // snapshotter finishes raw snapshots: it renders the optional SVG into a
 // buffer reused across frames and feeds the completed snapshot to the
-// streaming callback before the run continues.
+// streaming callbacks before the run continues.
 type snapshotter struct {
 	svg bool
 	fn  func(Snapshot)
 	buf []byte
+
+	// Delta-tap state, wired only when Options.DeltaFunc is set.
+	dfn      func(Snapshot, Delta)
+	log      *frame.MoveLog
+	grid     func() *grid.Grid
+	tracked  bool
+	payloads bool
 }
 
 func newSnapshotter(opts Options) *snapshotter {
-	return &snapshotter{svg: opts.SnapshotSVG, fn: opts.SnapshotFunc}
+	return &snapshotter{svg: opts.SnapshotSVG, fn: opts.SnapshotFunc, dfn: opts.DeltaFunc}
+}
+
+// attach wires the delta tap to an engine's move log and live grid.
+// tracked is false when the execution cannot log its moves completely.
+func (sn *snapshotter) attach(g func() *grid.Grid, tracked bool, ru *rule.Rule) *frame.MoveLog {
+	if sn.dfn == nil {
+		return nil
+	}
+	sn.grid = g
+	sn.payloads = !ru.Stateless()
+	sn.tracked = tracked
+	if tracked {
+		sn.log = &frame.MoveLog{}
+	}
+	return sn.log
 }
 
 // take completes s. cfg is called only when SVG rendering is on, so the
@@ -567,6 +629,14 @@ func (sn *snapshotter) take(s Snapshot, cfg func() *config.Config) Snapshot {
 	}
 	if sn.fn != nil {
 		sn.fn(s)
+	}
+	if sn.dfn != nil {
+		sn.dfn(s, Delta{
+			Moves:    sn.log.Drain(),
+			Tracked:  sn.tracked,
+			Payloads: sn.payloads,
+			Grid:     sn.grid(),
+		})
 	}
 	return s
 }

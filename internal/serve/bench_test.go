@@ -1,16 +1,23 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"sops/internal/frame"
+	"sops/internal/grid"
+	"sops/internal/lattice"
 	"sops/internal/runner"
 )
 
-// BenchmarkSnapshotEncode measures the full per-frame cost of the
-// streaming path: render the configuration's SVG into the reused buffer
-// (the runner's snapshotter discipline) and marshal the NDJSON frame. This
-// is the number the bench gate holds so streaming stays cheap enough to
+// BenchmarkSnapshotEncode measures the legacy full-state per-frame cost:
+// render the configuration's SVG into the reused buffer (the runner's
+// snapshotter discipline) and marshal the NDJSON frame. This is the
+// baseline the binary delta path (BenchmarkFrameDelta) is compared
+// against; the bench gate holds both so streaming stays cheap enough to
 // run on every snapshot boundary.
 func BenchmarkSnapshotEncode(b *testing.B) {
 	res, err := runner.Compress(runner.Options{
@@ -24,20 +31,19 @@ func BenchmarkSnapshotEncode(b *testing.B) {
 		Energy: res.Energy, Alpha: res.Alpha, Beta: res.Beta, HoleFree: res.HoleFree,
 	}
 	var svgBuf []byte
-	var line []byte
+	var total int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		svgBuf = res.AppendSVG(svgBuf[:0])
 		f := snap
 		f.SVG = string(svgBuf)
-		frame := Frame{Type: FrameSnapshot, Snapshot: &f}
-		var merr error
-		line, merr = json.Marshal(frame)
+		line, merr := json.Marshal(Frame{Type: FrameSnapshot, Snapshot: &f})
 		if merr != nil {
 			b.Fatal(merr)
 		}
+		total += len(line)
 	}
-	b.ReportMetric(float64(len(line)), "frame_bytes")
+	b.ReportMetric(float64(total)/float64(b.N), "frame_bytes")
 }
 
 // BenchmarkSnapshotEncodeNoSVG isolates the metrics-only frame (the sweep
@@ -49,5 +55,86 @@ func BenchmarkSnapshotEncodeNoSVG(b *testing.B) {
 		if _, err := json.Marshal(Frame{Type: FrameSnapshot, Snapshot: &snap}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFrameDelta measures the binary streaming path over the same
+// configuration as BenchmarkSnapshotEncode: one delta record per snapshot
+// interval, with the encoder's keyframe cadence included so the reported
+// ns/op and frame_bytes are the honest amortized per-frame cost.
+func BenchmarkFrameDelta(b *testing.B) {
+	res, err := runner.Compress(runner.Options{
+		N: 50, Lambda: 4, Iterations: 200_000, Seed: 1, Start: runner.StartSpiral,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]lattice.Point, len(res.Points))
+	for i, p := range res.Points {
+		pts[i] = lattice.Point{X: p.X, Y: p.Y}
+	}
+	g := grid.New(pts, 0)
+	// An interval's coalesced move list: two boundary particles step to a
+	// free neighbor — the typical net change between snapshot boundaries.
+	sorted := g.AppendPoints(nil)
+	freeNeighbor := func(p lattice.Point) lattice.Point {
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			if q := p.Neighbor(d); !g.Has(q) {
+				return q
+			}
+		}
+		return p
+	}
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	moves := []frame.Move{
+		{From: lo, To: freeNeighbor(lo)},
+		{From: hi, To: freeNeighbor(hi)},
+	}
+	snap := frame.Snap{
+		Iteration: res.Iterations, Perimeter: res.Perimeter, Edges: res.Edges,
+		Energy: res.Energy, Alpha: res.Alpha, Beta: res.Beta,
+		HoleFree: res.HoleFree, SVG: true,
+	}
+	var enc frame.Encoder
+	var total int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Seq = i
+		total += len(enc.EncodeSnapshot(snap, moves, true, g))
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "frame_bytes")
+}
+
+// BenchmarkStreamFanout measures publish with live followers: one
+// publisher appending metrics frames, 8 binary followers draining them.
+// The per-op cost is what every snapshot boundary pays while clients
+// watch — the encode happens once and the same record bytes fan out.
+func BenchmarkStreamFanout(b *testing.B) {
+	const followers = 8
+	st := newStream()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	var consumed atomic.Int64
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = st.followRecords(ctx, func(rec []byte) error {
+				consumed.Add(1)
+				return nil
+			})
+		}()
+	}
+	snap := runner.Snapshot{Iteration: 123456, Perimeter: 42, Edges: 120, Energy: 120, Alpha: 1.4, Beta: 0.2, HoleFree: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.publish(Frame{Type: FrameSnapshot, Snapshot: &snap})
+	}
+	st.close()
+	wg.Wait()
+	b.StopTimer()
+	if got, want := consumed.Load(), int64(followers)*int64(b.N); got != want {
+		b.Fatalf("followers consumed %d records, want %d", got, want)
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"sops/internal/frame"
 )
 
 // Cluster-mode machinery: the claim scanner, the lease heartbeat, the
@@ -350,20 +352,33 @@ var doneFramePrefix = []byte(`{"type":"done"`)
 
 func isDoneFrameLine(line []byte) bool { return bytes.HasPrefix(line, doneFramePrefix) }
 
+// isDoneRecord reports whether a framed record carries a terminal frame.
+// Done frames are always published through the JSON path, so they are raw
+// records; snapshot records can never be terminal.
+func isDoneRecord(rec []byte) bool {
+	line, ok := frame.RawBody(rec)
+	return ok && isDoneFrameLine(line)
+}
+
 // openMirror opens (creating if needed) a job's frame mirror for append
-// and returns how many complete lines it already holds — the Seq base a
-// resuming owner continues from.
+// and returns how many complete records it already holds — the Seq base a
+// resuming owner continues from. A fresh mirror gets the frame-log header
+// before any record.
 func (m *Manager) openMirror(id string) (*os.File, int, error) {
 	path := m.mirrorPath(id)
-	lines := 0
-	if raw, err := os.ReadFile(path); err == nil {
-		lines = bytes.Count(raw, []byte{'\n'})
+	recs := 0
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		recs = frame.Count(raw)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, 0, err
+	f, ferr := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if ferr != nil {
+		return nil, 0, ferr
 	}
-	return f, lines, nil
+	if len(raw) == 0 {
+		_, _ = f.Write(frame.Header())
+	}
+	return f, recs, nil
 }
 
 // mirrorDone appends a terminal frame to a job's mirror outside any
@@ -371,8 +386,9 @@ func (m *Manager) openMirror(id string) (*os.File, int, error) {
 // but cross-node followers still need their stream to end.
 func (m *Manager) mirrorDone(id string, f Frame) {
 	path := m.mirrorPath(id)
-	if raw, err := os.ReadFile(path); err == nil {
-		f.Seq = bytes.Count(raw, []byte{'\n'})
+	raw, rerr := os.ReadFile(path)
+	if rerr == nil {
+		f.Seq = frame.Count(raw)
 	}
 	line, err := json.Marshal(f)
 	if err != nil {
@@ -382,25 +398,26 @@ func (m *Manager) mirrorDone(id string, f Frame) {
 	if err != nil {
 		return
 	}
-	_, _ = g.Write(append(line, '\n'))
+	if len(raw) == 0 {
+		_, _ = g.Write(frame.Header())
+	}
+	_, _ = g.Write(frame.Raw(line))
 	_ = g.Close()
 }
 
-// replayMirror publishes a job's stored mirror lines into st, returning
-// how many lines it replayed and whether one was a terminal frame.
+// replayMirror publishes a job's stored mirror records into st, returning
+// how many records it replayed and whether one was a terminal frame. A
+// truncated tail (owner died mid-append) is dropped.
 func (m *Manager) replayMirror(st *stream, id string) (int, bool) {
 	raw, err := os.ReadFile(m.mirrorPath(id))
 	if err != nil || len(raw) == 0 {
 		return 0, false
 	}
 	n, sawDone := 0, false
-	for _, line := range bytes.Split(raw, []byte{'\n'}) {
-		if len(line) == 0 {
-			continue
-		}
-		st.publishRaw(append([]byte(nil), line...))
+	for _, rec := range splitTolerant(raw) {
+		st.publishRecord(rec)
 		n++
-		if isDoneFrameLine(line) {
+		if isDoneRecord(rec) {
 			sawDone = true
 		}
 	}
@@ -428,7 +445,7 @@ func (m *Manager) tailMirror(st *stream, id string) {
 	if poll < 5*time.Millisecond {
 		poll = 5 * time.Millisecond
 	}
-	var buf []byte
+	var sc frame.Scanner
 	chunk := make([]byte, 64<<10)
 	var idle time.Duration
 	for {
@@ -440,7 +457,7 @@ func (m *Manager) tailMirror(st *stream, id string) {
 			for {
 				n, err := f.Read(chunk)
 				if n > 0 {
-					buf = append(buf, chunk[:n]...)
+					sc.Write(chunk[:n])
 					progressed = true
 				}
 				if err != nil {
@@ -448,17 +465,12 @@ func (m *Manager) tailMirror(st *stream, id string) {
 				}
 			}
 			for {
-				i := bytes.IndexByte(buf, '\n')
-				if i < 0 {
-					break // keep the partial line until its newline lands
+				rec, ok := sc.Next()
+				if !ok {
+					break // keep the partial record until the rest lands
 				}
-				line := append([]byte(nil), buf[:i]...)
-				buf = buf[i+1:]
-				if len(line) == 0 {
-					continue
-				}
-				st.publishRaw(line)
-				if isDoneFrameLine(line) {
+				st.publishRecord(rec)
+				if isDoneRecord(rec) {
 					return
 				}
 			}

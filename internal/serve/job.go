@@ -101,6 +101,7 @@ func (r *JobRequest) normalize() error {
 			return fmt.Errorf("serve: kind %q does not take run options", r.Kind)
 		}
 		r.Run.SnapshotFunc = nil
+		r.Run.DeltaFunc = nil
 		r.Run.Interrupt = nil
 		if r.SVG {
 			r.Run.SnapshotSVG = true

@@ -224,9 +224,11 @@ func (m *Manager) cancelMarkPath(id string) string {
 	return filepath.Join(m.leaseDir(), "job-"+id+".cancel")
 }
 
-// mirrorPath is the live frame log of one job: every frame the owning node
-// publishes is appended here, and non-owner nodes serve /stream by tailing
-// it. Cluster mode only.
+// mirrorPath is the live binary frame log of one job: every record the
+// owning node publishes is appended here, and non-owner nodes serve
+// /stream by tailing it. Cluster mode only. The .bin suffix also fences
+// off .ndjson mirrors left by pre-codec builds, which would misparse as
+// uvarint-framed records.
 func (m *Manager) mirrorPath(id string) string {
-	return filepath.Join(m.dir, "frames", id+".ndjson")
+	return filepath.Join(m.dir, "frames", id+".bin")
 }

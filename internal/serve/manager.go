@@ -17,8 +17,13 @@ import (
 	"time"
 
 	"sops/internal/experiment"
+	"sops/internal/frame"
 	"sops/internal/runner"
 )
+
+// framesFile is the binary frame log persisted in a run job's workspace:
+// a frame.Header followed by the run's snapshot records verbatim.
+const framesFile = "frames.bin"
 
 // Options configures a Manager (and through it a Server).
 type Options struct {
@@ -65,6 +70,10 @@ type Options struct {
 	// X-Sops-Client header) may have in flight through this node; beyond
 	// it Submit sheds with ErrQuota (HTTP 429). 0 means unlimited.
 	ClientQuota int
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP server
+	// (`sops serve -pprof`). Off by default; the Manager itself ignores it.
+	Pprof bool
 }
 
 // handle pairs a job record with its execution state.
@@ -925,7 +934,7 @@ func (m *Manager) execute(h *handle) {
 			h.mu.Unlock()
 		}
 		if final.Kind == KindRun && final.State == StateDone {
-			// The frame history is persisted (frames.ndjson): drop the
+			// The frame history is persisted (frames.bin): drop the
 			// in-memory log and rehydrate lazily on demand, exactly as
 			// after a restart, so finished jobs cost no resident memory.
 			h.mu.Lock()
@@ -1052,18 +1061,30 @@ func (m *Manager) runRun(ctx context.Context, h *handle) error {
 	}
 
 	opts := *job.Request.Run
-	var frameLines [][]byte
+	var frameRecs [][]byte
+	var frameBytes int
+	var enc frame.Encoder
 	seqBase := pub.nextSeq()
-	opts.SnapshotFunc = func(s runner.Snapshot) {
+	opts.DeltaFunc = func(s runner.Snapshot, d runner.Delta) {
 		m.add("snapshots_streamed", 1)
-		f := Frame{Type: FrameSnapshot, Snapshot: &s}
-		f.Seq = seqBase + len(frameLines)
-		line, err := json.Marshal(f)
-		if err != nil {
-			return
-		}
-		frameLines = append(frameLines, line)
-		pub.publishRaw(line)
+		// One binary encode per snapshot: the same record fans out to every
+		// follower (and the cluster mirror) and lands verbatim in frames.bin.
+		// JSON followers get the NDJSON transcode, built lazily per stream.
+		rec := enc.EncodeSnapshot(frame.Snap{
+			Seq:       seqBase + len(frameRecs),
+			Iteration: s.Iteration,
+			Perimeter: s.Perimeter,
+			Edges:     s.Edges,
+			Energy:    s.Energy,
+			Alpha:     s.Alpha,
+			Beta:      s.Beta,
+			HoleFree:  s.HoleFree,
+			SVG:       s.SVG != "",
+			Payloads:  d.Payloads,
+		}, d.Moves, d.Tracked, d.Grid)
+		frameRecs = append(frameRecs, rec)
+		frameBytes += len(rec)
+		pub.publishRecord(rec)
 	}
 	opts.Interrupt = func() bool { return ctx.Err() != nil }
 	res, err := runner.Compress(opts)
@@ -1084,13 +1105,12 @@ func (m *Manager) runRun(ctx context.Context, h *handle) error {
 	if err := writeFileAtomic(filepath.Join(dir, "result.json"), append(raw, '\n')); err != nil {
 		return err
 	}
-	if len(frameLines) > 0 {
-		var buf []byte
-		for _, line := range frameLines {
-			buf = append(buf, line...)
-			buf = append(buf, '\n')
+	if len(frameRecs) > 0 {
+		buf := frame.AppendHeader(make([]byte, 0, frame.HeaderSize+frameBytes))
+		for _, rec := range frameRecs {
+			buf = append(buf, rec...)
 		}
-		if err := writeFileAtomic(filepath.Join(dir, "frames.ndjson"), buf); err != nil {
+		if err := writeFileAtomic(filepath.Join(dir, framesFile), buf); err != nil {
 			return err
 		}
 	}
@@ -1127,11 +1147,20 @@ func (m *Manager) tryCached(h *handle, dir string) bool {
 
 // replayStoredFrames republishes a run workspace's persisted snapshot
 // frames into st, so a cached or rehydrated job's stream is byte-identical
-// to the original's. st must not be the stream of a handle whose mutex the
+// to the original's. The binary frame log (frames.bin) is the native store;
+// frames.ndjson is read as a fallback for workspaces written before the
+// binary codec. st must not be the stream of a handle whose mutex the
 // caller does not hold consistently — publishes synchronize on the stream
 // itself.
 func (m *Manager) replayStoredFrames(st *stream, job *Job) {
-	f, err := os.Open(filepath.Join(m.workspace(job), "frames.ndjson"))
+	dir := m.workspace(job)
+	if raw, err := os.ReadFile(filepath.Join(dir, framesFile)); err == nil {
+		for _, rec := range splitTolerant(raw) {
+			st.publishRecord(rec)
+		}
+		return
+	}
+	f, err := os.Open(filepath.Join(dir, "frames.ndjson"))
 	if err != nil {
 		return
 	}
@@ -1143,6 +1172,21 @@ func (m *Manager) replayStoredFrames(st *stream, job *Job) {
 		if len(line) > 0 {
 			st.publishRaw(line)
 		}
+	}
+}
+
+// splitTolerant splits a frame log into records, dropping a truncated tail
+// (a crash mid-append) instead of failing the replay.
+func splitTolerant(raw []byte) [][]byte {
+	var recs [][]byte
+	var sc frame.Scanner
+	sc.Write(raw)
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			return recs
+		}
+		recs = append(recs, rec)
 	}
 }
 

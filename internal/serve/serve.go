@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
 	"sops/internal/experiment"
+	"sops/internal/frame"
 )
 
 // ClientHeader carries the per-client quota key on submissions. Clients
@@ -22,8 +24,9 @@ const ClientHeader = "X-Sops-Client"
 // the frame grammar, and the error envelope — is documented in API.md;
 // TestRoutesMatchAPIDoc keeps that document and apiRoutes in lockstep.
 type Server struct {
-	mgr *Manager
-	mux *http.ServeMux
+	mgr   *Manager
+	mux   *http.ServeMux
+	pprof bool
 }
 
 // New opens the store and starts the job pool behind a ready-to-mount
@@ -33,7 +36,7 @@ func New(opt Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), pprof: opt.Pprof}
 	s.routes()
 	return s, nil
 }
@@ -104,6 +107,16 @@ func (s *Server) routes() {
 	// The embedded observatory UI: index at /, assets under /ui/.
 	s.mux.HandleFunc("GET /{$}", handleUIIndex)
 	s.mux.Handle("GET /ui/", http.StripPrefix("/ui/", uiFileServer()))
+	if s.pprof {
+		// Opt-in profiling (Options.Pprof / `sops serve -pprof`). Outside
+		// the /v1 contract — like /healthz and /metrics, these routes are
+		// operational, not part of the documented API.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // handleUnmatched turns the mux's plaintext fallback for an unmatched /v1
@@ -185,19 +198,62 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
-// handleStream follows the job's frame log as NDJSON: the full history
-// first (reconnects replay from frame 0), then live frames until the job
-// reaches a terminal state.
+// FramesContentType is the media type of the binary frame log
+// (?format=binary): a frame.Header followed by framed records.
+const FramesContentType = "application/x-sops-frames"
+
+// streamFormat parses the ?format query parameter shared by the stream and
+// frames endpoints: "json" (the default NDJSON contract) or "binary" (the
+// internal/frame wire format, verbatim).
+func streamFormat(r *http.Request) (binary bool, err error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		return false, nil
+	case "binary":
+		return true, nil
+	default:
+		return false, fmt.Errorf("query parameter format=%q: want json or binary", f)
+	}
+}
+
+// handleStream follows the job's frame log: the full history first
+// (reconnects replay from frame 0), then live frames until the job reaches
+// a terminal state. The default encoding is NDJSON; ?format=binary streams
+// the canonical binary records instead — the same bytes for every follower,
+// with no per-client encoding work at all.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.mgr.Stream(r.PathValue("id"))
+	id := r.PathValue("id")
+	binary, err := streamFormat(r)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidArgument, id, err)
+		return
+	}
+	st, ok := s.mgr.Stream(id)
 	if !ok {
-		writeJobNotFound(w, r.PathValue("id"))
+		writeJobNotFound(w, id)
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	if binary {
+		w.Header().Set("Content-Type", FramesContentType)
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(frame.Header()); err != nil {
+			return
+		}
+		_ = st.followRecords(r.Context(), func(rec []byte) error {
+			if _, err := w.Write(rec); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
 	newline := []byte{'\n'}
 	_ = st.follow(r.Context(), func(line []byte) error {
 		// The frame slice is shared by every follower of this job: never
@@ -223,9 +279,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // re-render path consume it.
 func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	binary, err := streamFormat(r)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidArgument, id, err)
+		return
+	}
 	from, to, err := frameRange(r)
 	if err != nil {
 		writeAPIError(w, http.StatusBadRequest, CodeInvalidArgument, id, err)
+		return
+	}
+	if binary && (from > 0 || to > 0) {
+		// Binary records are delta-coded: slicing the log would orphan
+		// deltas from their keyframe. Range reads stay a JSON feature.
+		writeAPIError(w, http.StatusBadRequest, CodeInvalidArgument, id,
+			fmt.Errorf("format=binary serves the full frame log; from/to require format=json"))
 		return
 	}
 	job, ok := s.mgr.Job(id)
@@ -236,6 +304,24 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 	if !terminal(job.State) {
 		writeAPIError(w, http.StatusConflict, CodeJobNotComplete, id,
 			fmt.Errorf("job %s is %s; frames replay completed jobs (follow /stream for live frames)", id, job.State))
+		return
+	}
+	if binary {
+		recs, err := s.mgr.FrameRecords(r.Context(), id)
+		if err != nil {
+			writeAPIError(w, http.StatusInternalServerError, CodeInternal, id, err)
+			return
+		}
+		w.Header().Set("Content-Type", FramesContentType)
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(frame.Header()); err != nil {
+			return
+		}
+		for _, rec := range recs {
+			if _, err := w.Write(rec); err != nil {
+				return
+			}
+		}
 		return
 	}
 	lines, err := s.mgr.FrameHistory(r.Context(), id)

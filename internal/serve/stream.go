@@ -1,13 +1,17 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
 	"sync"
 
+	"sops/internal/config"
 	"sops/internal/experiment"
+	"sops/internal/frame"
 	"sops/internal/runner"
+	"sops/internal/viz"
 )
 
 // Frame types of the streaming endpoint.
@@ -46,24 +50,81 @@ type Frame struct {
 	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
+// marshalBufs pools the scratch buffers publish marshals frames into, so a
+// busy stream (or many streams) reuses one allocation per concurrent
+// publisher instead of one per frame.
+var marshalBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// FrameTranscoder converts the binary frame records of a stream (the
+// internal/frame wire format) into the NDJSON lines of the JSON contract.
+// Raw records pass through as their exact stored bytes; snapshot records
+// are decoded and re-marshaled through the same Frame struct the server
+// originally encoded, which makes the transcode byte-identical to the
+// historical NDJSON stream — including the SVG, re-rendered from the
+// decoded configuration (viz.AppendSVG is a pure function of the point
+// set). Records must be fed in log order: the decoder carries the
+// keyframe/delta state across calls. Not safe for concurrent use.
+type FrameTranscoder struct {
+	dec frame.Decoder
+	svg []byte
+}
+
+// Transcode converts one binary record into its NDJSON line (no trailing
+// newline). Raw-record lines alias the record's bytes; snapshot lines are
+// freshly marshaled. Corrupt records return an error and leave the decoder
+// state untouched beyond the failed decode.
+func (t *FrameTranscoder) Transcode(rec []byte) ([]byte, error) {
+	r, err := t.dec.Decode(rec)
+	if err != nil {
+		return nil, err
+	}
+	if r.Kind == frame.KindRaw {
+		return r.Raw, nil
+	}
+	s := r.Snap
+	rs := runner.Snapshot{
+		Iteration: s.Iteration,
+		Perimeter: s.Perimeter,
+		Edges:     s.Edges,
+		Energy:    s.Energy,
+		Alpha:     s.Alpha,
+		Beta:      s.Beta,
+		HoleFree:  s.HoleFree,
+	}
+	if s.SVG {
+		t.svg = viz.AppendSVG(t.svg[:0], config.New(t.dec.Points()...), nil)
+		rs.SVG = string(t.svg)
+	}
+	return json.Marshal(Frame{Type: FrameSnapshot, Seq: s.Seq, Snapshot: &rs})
+}
+
 // stream is an append-only broadcast log of encoded frames. Publishers
 // append; any number of subscribers replay from the start and then follow
-// live until the stream closes. Frames are stored encoded (without the
-// trailing newline) so a frame is marshaled once however many clients
-// watch.
+// live until the stream closes. The canonical history is binary frame
+// records (internal/frame): a frame is encoded once however many clients
+// watch, binary followers and the cluster mirror receive the same bytes
+// verbatim, and the NDJSON view is transcoded lazily — at most once per
+// record — only when a JSON follower asks for it.
 type stream struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	frames [][]byte
+	mu   sync.Mutex
+	cond *sync.Cond
+	// recs is the canonical record log (framed, no file header).
+	recs [][]byte
+	// json caches the NDJSON transcode of a prefix of recs; it extends
+	// under mu through tr, whose decoder state advances strictly in record
+	// order. A nil entry marks a record that failed to transcode (JSON
+	// followers skip it; binary followers still see the raw bytes).
+	json   [][]byte
+	tr     FrameTranscoder
 	closed bool
 	// base offsets the Seq stamped on published frames. Cluster nodes that
-	// resume a stolen job set it to the number of frames its previous owner
+	// resume a stolen job set it to the number of records its previous owner
 	// already mirrored, so a follower of the cross-node frame log sees one
 	// monotone sequence across the steal.
 	base int
-	// mirror, when non-nil, receives every appended line plus a newline —
-	// the cluster frame log other nodes tail. Write errors are dropped:
-	// mirroring is best-effort replication of an in-memory log that remains
+	// mirror, when non-nil, receives every appended record — the cluster
+	// frame log other nodes tail. Write errors are dropped: mirroring is
+	// best-effort replication of an in-memory log that remains
 	// authoritative for local followers.
 	mirror io.Writer
 }
@@ -74,47 +135,74 @@ func newStream() *stream {
 	return s
 }
 
-// publish encodes f (stamping its Seq) and appends it. Publishing to a
-// closed stream is a no-op so late engine callbacks cannot corrupt a
-// finished job's history.
+// publish encodes f (stamping its Seq) as a raw JSON record and appends it.
+// Publishing to a closed stream is a no-op so late engine callbacks cannot
+// corrupt a finished job's history.
 func (s *stream) publish(f Frame) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return
 	}
-	f.Seq = s.base + len(s.frames)
-	line, err := json.Marshal(f)
-	if err != nil {
+	f.Seq = s.base + len(s.recs)
+	buf := marshalBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(f); err != nil {
 		// Frames are built from plain data types; a marshal failure is a
 		// programmer error, but dropping the frame beats killing the job.
+		marshalBufs.Put(buf)
 		return
 	}
-	s.append(line)
+	line := buf.Bytes()
+	s.append(frame.Raw(line[:len(line)-1])) // Encode appends '\n'
+	marshalBufs.Put(buf)
 }
 
-// publishRaw appends an already-encoded frame line (cached-job replay).
+// publishRaw appends an already-encoded NDJSON line, framing it as a raw
+// record (legacy frames.ndjson replay).
 func (s *stream) publishRaw(line []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return
 	}
-	s.append(line)
+	s.append(frame.Raw(line))
 }
 
-// append records one encoded line and mirrors it; callers hold s.mu. The
-// mirror write is a single call: with O_APPEND that keeps each line atomic
-// on disk even if a lease-protocol race briefly leaves two writers alive.
-func (s *stream) append(line []byte) {
-	s.frames = append(s.frames, line)
+// publishRecord appends an already-framed binary record — encoded snapshot
+// deltas from the run loop, stored frames.bin replay, and records tailed
+// from a cluster mirror. The record carries its own Seq; none is stamped.
+func (s *stream) publishRecord(rec []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.append(rec)
+}
+
+// append records one framed record and mirrors it; callers hold s.mu. The
+// mirror write is a single call: with O_APPEND that keeps each record
+// atomic on disk even if a lease-protocol race briefly leaves two writers
+// alive.
+func (s *stream) append(rec []byte) {
+	s.recs = append(s.recs, rec)
 	if s.mirror != nil {
-		buf := make([]byte, 0, len(line)+1)
-		buf = append(buf, line...)
-		buf = append(buf, '\n')
-		_, _ = s.mirror.Write(buf)
+		_, _ = s.mirror.Write(rec)
 	}
 	s.cond.Broadcast()
+}
+
+// extendJSON transcodes records [len(s.json), n) into the NDJSON cache;
+// callers hold s.mu.
+func (s *stream) extendJSON(n int) {
+	for len(s.json) < n {
+		line, err := s.tr.Transcode(s.recs[len(s.json)])
+		if err != nil {
+			line = nil
+		}
+		s.json = append(s.json, line)
+	}
 }
 
 // setBase sets the Seq offset of subsequently published frames.
@@ -128,7 +216,7 @@ func (s *stream) setBase(n int) {
 func (s *stream) nextSeq() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.base + len(s.frames)
+	return s.base + len(s.recs)
 }
 
 // setMirror attaches (or, with nil, detaches) the cluster frame-log writer.
@@ -150,13 +238,24 @@ func (s *stream) close() {
 func (s *stream) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.frames)
+	return len(s.recs)
 }
 
-// follow delivers every frame from the beginning to emit, blocking for new
-// ones until the stream closes or ctx is done. It returns nil after a full
-// drain of a closed stream, ctx.Err() on cancellation, or emit's error.
+// follow delivers every frame from the beginning to emit as NDJSON lines,
+// blocking for new ones until the stream closes or ctx is done. It returns
+// nil after a full drain of a closed stream, ctx.Err() on cancellation, or
+// emit's error.
 func (s *stream) follow(ctx context.Context, emit func([]byte) error) error {
+	return s.followFunc(ctx, false, emit)
+}
+
+// followRecords is follow over the canonical binary records: every emitted
+// slice is one framed record, byte-identical for every follower.
+func (s *stream) followRecords(ctx context.Context, emit func([]byte) error) error {
+	return s.followFunc(ctx, true, emit)
+}
+
+func (s *stream) followFunc(ctx context.Context, binary bool, emit func([]byte) error) error {
 	// A canceled client must wake the cond wait; AfterFunc broadcasts on
 	// cancellation and is released when follow returns.
 	stop := context.AfterFunc(ctx, s.cond.Broadcast)
@@ -164,17 +263,26 @@ func (s *stream) follow(ctx context.Context, emit func([]byte) error) error {
 	i := 0
 	for {
 		s.mu.Lock()
-		for i >= len(s.frames) && !s.closed && ctx.Err() == nil {
+		for i >= len(s.recs) && !s.closed && ctx.Err() == nil {
 			s.cond.Wait()
 		}
-		batch := s.frames[i:len(s.frames):len(s.frames)]
+		var batch [][]byte
+		if binary {
+			batch = s.recs[i:len(s.recs):len(s.recs)]
+		} else {
+			s.extendJSON(len(s.recs))
+			batch = s.json[i:len(s.json):len(s.json)]
+		}
 		closed := s.closed
 		s.mu.Unlock()
 		for _, line := range batch {
+			i++
+			if line == nil {
+				continue
+			}
 			if err := emit(line); err != nil {
 				return err
 			}
-			i++
 		}
 		if err := ctx.Err(); err != nil {
 			return err

@@ -54,6 +54,24 @@ func (m *Manager) FrameHistory(ctx context.Context, id string) ([][]byte, error)
 	return lines, nil
 }
 
+// FrameRecords collects a terminal job's full frame log as binary records —
+// the canonical bytes behind FrameHistory's NDJSON view, through the same
+// hydration paths.
+func (m *Manager) FrameRecords(ctx context.Context, id string) ([][]byte, error) {
+	st, ok := m.Stream(id)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown job %q", id)
+	}
+	var recs [][]byte
+	if err := st.followRecords(ctx, func(rec []byte) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
 // timelineRow is one snapshot frame flattened for the artifacts. Series
 // labels sweep frames with their point (λ, n, engine, …); run-job frames
 // all share the "run" series.
