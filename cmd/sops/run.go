@@ -20,8 +20,12 @@ func cmdRun(args []string) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		start     = fs.String("start", "line", "starting shape: line|spiral|random|tree")
 		engine    = fs.String("engine", experiment.EngineChain, "execution engine: chain|kmc|amoebot")
-		ruleName  = fs.String("rule", sops.RuleCompression, "local rule: compression|align")
+		ruleName  = fs.String("rule", sops.RuleCompression, "local rule: compression|align|forage")
 		states    = fs.Int("states", 0, "payload state count for payload rules (0 = rule default; align defaults to 6 orientations)")
+		forageLow = fs.Float64("forage-lambda-low", 0, "forage rule: bias λ_low away from food and after exhaustion (0 = default 1)")
+		forageRad = fs.Int("forage-radius", 0, "forage rule: food-disk radius in hex distance (0 = default 4)")
+		forageDur = fs.Uint64("forage-food", 0, "forage rule: iterations until the food is exhausted (0 = default 60000)")
+		forageEp  = fs.Uint64("forage-epoch", 0, "forage rule: bias epoch length in iterations (0 = default 1024)")
 		workers   = fs.Int("workers", 0, "drive an amoebot run with this many concurrent goroutines")
 		shards    = fs.Int("shards", 0, "stripe-shard a kmc run across this many concurrent row stripes (kmc engine, stateless rules only)")
 		crash     = fs.Float64("crash", 0, "fraction of particles to crash-fail (amoebot engine only)")
@@ -44,6 +48,17 @@ func cmdRun(args []string) error {
 		Engine:     *engine,
 		Rule:       *ruleName,
 		RuleStates: *states,
+	}
+	if *forageLow != 0 || *forageRad != 0 || *forageDur != 0 || *forageEp != 0 {
+		if *ruleName != sops.RuleForage {
+			return fmt.Errorf("-forage-* flags require -rule %s", sops.RuleForage)
+		}
+		opts.Forage = &sops.ForageSpec{
+			LambdaLow: *forageLow,
+			Radius:    *forageRad,
+			FoodSteps: *forageDur,
+			Epoch:     *forageEp,
+		}
 	}
 	if *crash > 0 {
 		opts.CrashFraction = *crash

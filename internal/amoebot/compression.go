@@ -20,8 +20,17 @@ import (
 // evaluates the Metropolis filter on the payload change immediately —
 // rotations touch no second node, so the expand/contract handshake and the
 // flag are unnecessary and the activation stays atomic.
+//
+// For rules with a time-varying/site-dependent bias the Metropolis filter
+// prices each proposal at the effective λ of (activation step, tail site):
+// the activation count is the asynchronous analogue of the chain's step
+// clock. The protocol's ladder cache is safe under the concurrent scheduler
+// because activations are serialized (atomic actions); the Ladders
+// themselves are immutable.
 type Metropolis struct {
 	ru *rule.Rule
+	// lcache memoizes pricing ladders for biased rules; nil for fixed λ.
+	lcache *rule.LadderCache
 }
 
 // Compression is the canonical compression instance of the protocol:
@@ -33,7 +42,11 @@ func NewMetropolis(ru *rule.Rule) (*Metropolis, error) {
 	if ru == nil {
 		return nil, fmt.Errorf("amoebot: nil rule")
 	}
-	return &Metropolis{ru: ru}, nil
+	p := &Metropolis{ru: ru}
+	if ru.Biased() {
+		p.lcache = rule.NewLadderCache(ru)
+	}
+	return p, nil
 }
 
 // MustNewMetropolis is NewMetropolis but panics on error.
@@ -104,7 +117,14 @@ func (c *Metropolis) Activate(a *Activation) {
 	ok := false
 	if expanded && c.ru.Allowed(m) {
 		acc := 0.0
-		if c.ru.Stateless() {
+		if c.lcache != nil {
+			ld := c.lcache.At(a.Step(), a.TailSite())
+			if c.ru.Stateless() {
+				acc = ld.Accept(m)
+			} else {
+				acc = ld.AcceptPay(m, a.moveSame(m))
+			}
+		} else if c.ru.Stateless() {
 			acc = c.ru.Accept(m)
 		} else {
 			acc = c.ru.AcceptPay(m, a.moveSame(m))
@@ -125,7 +145,11 @@ func (c *Metropolis) rotate(a *Activation, j int) {
 	s := a.Payload()
 	t := c.ru.RotTarget(s, j)
 	delta := c.ru.RotDelta(a.sameNeighborMask(s), a.sameNeighborMask(t))
-	if q < c.ru.RotAccept(delta) {
+	acc := c.ru.RotAccept(delta)
+	if c.lcache != nil {
+		acc = c.lcache.At(a.Step(), a.TailSite()).RotAccept(delta)
+	}
+	if q < acc {
 		a.setPayload(t)
 	}
 }

@@ -76,6 +76,12 @@ type Chain struct {
 	pcg    *rand.PCG // kept so Reset can reseed the stream in place
 	rng    *rand.Rand
 
+	// biased marks rules with a time-varying/site-dependent bias schedule;
+	// lcache then memoizes the pricing ladders per effective λ. Both stay
+	// zero for fixed-λ rules, whose hot path is untouched.
+	biased bool
+	lcache *rule.LadderCache
+
 	reference    bool
 	degreeGuard  bool
 	prop1, prop2 bool
@@ -99,8 +105,8 @@ func (c *Chain) SetMoveLog(l *frame.MoveLog) { c.mlog = l }
 // non-empty and connected, with bias parameter λ > 0. The chain is
 // deterministic given (σ0, λ, seed).
 func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*Chain, error) {
-	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
-		return nil, fmt.Errorf("chain: bias λ must be a positive finite number, got %v", lambda)
+	if err := rule.ValidateLambda(lambda); err != nil {
+		return nil, fmt.Errorf("chain: %w", err)
 	}
 	c := &Chain{
 		lambda:      lambda,
@@ -165,6 +171,14 @@ func (c *Chain) init(sigma0 *config.Config, seed uint64) error {
 	c.rng = rand.New(c.pcg)
 	c.stateless = c.ru.Stateless()
 	c.slots = c.ru.Slots()
+	c.biased = c.ru.Biased()
+	c.lcache = nil
+	if c.biased {
+		if c.reference {
+			return fmt.Errorf("chain: the reference engine supports only fixed-λ rules")
+		}
+		c.lcache = rule.NewLadderCache(c.ru)
+	}
 	c.points = sigma0.Points()
 	if c.reference {
 		c.cfg = sigma0.Clone()
@@ -212,6 +226,11 @@ func (c *Chain) Reset(pts []lattice.Point, ru *rule.Rule, seed uint64) error {
 	c.pcg.Seed(seed, rngStream)
 	c.stateless = ru.Stateless()
 	c.slots = ru.Slots()
+	c.biased = ru.Biased()
+	c.lcache = nil
+	if c.biased {
+		c.lcache = rule.NewLadderCache(ru)
+	}
 	c.points = append(c.points[:0], pts...)
 	c.g.Reset(c.points)
 	if !c.stateless {
@@ -387,10 +406,18 @@ func (c *Chain) Step() bool {
 	if c.stateless {
 		acc = c.ru.Accept(m)
 		delta = c.ru.MoveDelta(m, 0)
+		if c.biased {
+			// The proposal is priced at the mover's current site ℓ during
+			// the epoch of this iteration (0-indexed: steps−1).
+			acc = c.lcache.At(c.steps-1, l).Accept(m)
+		}
 	} else {
 		same := c.g.PairSame(l, d, m, c.g.Payload(l))
 		acc = c.ru.AcceptPay(m, same)
 		delta = c.ru.MoveDelta(m, same)
+		if c.biased {
+			acc = c.lcache.At(c.steps-1, l).AcceptPay(m, same)
+		}
 	}
 	// The Metropolis filter: accept with probability min(1, λ^ΔH).
 	if acc < 1 {
@@ -414,7 +441,11 @@ func (c *Chain) stepRotate(l lattice.Point, j int) bool {
 	s := c.g.Payload(l)
 	t := c.ru.RotTarget(s, j)
 	delta := c.ru.RotDelta(c.g.SameNeighborMask(l, s), c.g.SameNeighborMask(l, t))
-	if acc := c.ru.RotAccept(delta); acc < 1 {
+	acc := c.ru.RotAccept(delta)
+	if c.biased {
+		acc = c.lcache.At(c.steps-1, l).RotAccept(delta)
+	}
+	if acc < 1 {
 		if c.rng.Float64() >= acc {
 			return false
 		}

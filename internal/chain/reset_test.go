@@ -15,6 +15,18 @@ func TestResetMatchesFresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The forage legs cross the λ switch at 20k of the 50k test steps, so a
+	// Reset into (and out of) a biased rule must rebuild the λ-epoch state
+	// along with the rule tables.
+	forage, err := rule.Forage(5, rule.ForageOptions{
+		LambdaLow: 0.8,
+		Radius:    4,
+		FoodSteps: 20_000,
+		Epoch:     512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		ru   *rule.Rule
@@ -23,8 +35,10 @@ func TestResetMatchesFresh(t *testing.T) {
 	}{
 		{"compression-spiral", rule.Compression(4), config.Spiral(60), 7},
 		{"alignment-line", align, config.Line(25), 11},
+		{"forage-spiral", forage, config.Spiral(50), 19},
 		{"compression-line", rule.Compression(2), config.Line(90), 13},
 		{"alignment-spiral", align, config.Spiral(40), 17},
+		{"forage-line", forage, config.Line(35), 23},
 	}
 	reused, err := NewWithRule(cases[0].cfg, cases[0].ru, 1)
 	if err != nil {

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sync/atomic"
 	"testing"
+
+	"sops/internal/runner"
 )
 
 // summariesJSON runs spec to completion and returns the marshaled
@@ -295,6 +297,78 @@ func TestPreRuleAxisSpecStillResumes(t *testing.T) {
 	}
 	if res.TasksRun != 0 || res.TasksReplayed != 1 {
 		t.Fatalf("explicit compression rule did not resume the journal: run=%d replayed=%d", res.TasksRun, res.TasksReplayed)
+	}
+}
+
+// TestPreForageSpecStillResumes: an experiment directory journaled before
+// the forage schedule existed has a spec.json without "forage"; the
+// normalized Spec must keep marshaling without it (nil schedule, omitempty),
+// so pre-existing store digests and journals resume byte-identically
+// instead of being rejected as a spec mismatch.
+func TestPreForageSpecStillResumes(t *testing.T) {
+	spec := Spec{Scenario: "compress", Lambdas: []float64{2}, Sizes: []int{8}, Iterations: 2000, Reps: 1, Seed: 6}
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), spec, RunOptions{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// The recorded spec must not mention the schedule at all: that is
+	// exactly the byte layout pre-forage directories hold, so producing it
+	// today proves their digests are unchanged.
+	raw, err := os.ReadFile(filepath.Join(dir, SpecFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("forage")) {
+		t.Fatalf("normalized unscheduled spec mentions forage:\n%s", raw)
+	}
+	res, err := Run(context.Background(), spec, RunOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 0 || res.TasksReplayed != 1 {
+		t.Fatalf("pre-forage journal did not resume: run=%d replayed=%d", res.TasksRun, res.TasksReplayed)
+	}
+
+	// A forage sweep with the schedule left nil and one with every default
+	// spelled out explicitly are the same identity: same digest, same
+	// journal, zero reruns.
+	fspec := Spec{Scenario: "forage", Sizes: []int{10}, Iterations: 3000, Reps: 1, Seed: 9}
+	fdir := t.TempDir()
+	if _, err := Run(context.Background(), fspec, RunOptions{Dir: fdir}); err != nil {
+		t.Fatal(err)
+	}
+	explicit := fspec
+	def := (&runner.ForageSpec{}).WithDefaults()
+	explicit.Forage = &def
+	d1, err := Digest(fspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("explicit default schedule forked the digest: %s vs %s", d1, d2)
+	}
+	res, err = Run(context.Background(), explicit, RunOptions{Dir: fdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 0 || res.TasksReplayed != 1 {
+		t.Fatalf("explicit default schedule did not resume the nil-schedule journal: run=%d replayed=%d",
+			res.TasksRun, res.TasksReplayed)
+	}
+
+	// A non-default schedule must fork the identity, not silently collapse.
+	custom := fspec
+	custom.Forage = &runner.ForageSpec{Radius: 9}
+	d3, err := Digest(custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("non-default schedule digests identically to the default")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"sops/internal/baseline"
 	"sops/internal/chain"
+	"sops/internal/lattice"
 	"sops/internal/metrics"
 	"sops/internal/rule"
 	"sops/internal/runner"
@@ -22,7 +23,13 @@ func newSequential(sp Spec, t Task) (runner.Sequential, error) {
 	}
 	states := ruleStatesFor(t.Point.Rule, sp.RuleStates)
 	if t.Arena != nil {
-		ru, err := t.Arena.Rule(t.Point.Rule, t.Point.Lambda, states)
+		var ru *rule.Rule
+		var err error
+		if t.Point.Rule == runner.RuleForage {
+			ru, err = t.Arena.ForageRule(t.Point.Lambda, sp.Forage)
+		} else {
+			ru, err = t.Arena.Rule(t.Point.Rule, t.Point.Lambda, states)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -32,7 +39,7 @@ func newSequential(sp Spec, t Task) (runner.Sequential, error) {
 	if err != nil {
 		return nil, err
 	}
-	ru, err := rule.New(t.Point.Rule, t.Point.Lambda, states)
+	ru, err := runner.NewRule(t.Point.Rule, t.Point.Lambda, states, forageFor(sp, t.Point))
 	if err != nil {
 		return nil, err
 	}
@@ -46,6 +53,16 @@ func shardsFor(sp Spec, p Point) int {
 		return sp.Shards
 	}
 	return 0
+}
+
+// forageFor resolves the Spec.Forage schedule for one point: the schedule
+// belongs to the forage rule; points of other rules on a mixed axis ignore
+// it (handing it to runner.Options would be an error there).
+func forageFor(sp Spec, p Point) *runner.ForageSpec {
+	if p.Rule == runner.RuleForage {
+		return sp.Forage
+	}
+	return nil
 }
 
 // The built-in scenarios: every workload the five pre-consolidation binaries
@@ -156,6 +173,27 @@ func init() {
 		},
 	})
 	Register(Scenario{
+		Name:        "forage",
+		Description: "foraging via self-induced phase change (Oh–Richa): compressed near food at λ while it lasts, expanded at λ_low after exhaustion; metrics food-disk occupancy vs time",
+		Defaults: func(s *Spec) {
+			if len(s.Rules) == 0 {
+				s.Rules = []string{runner.RuleForage}
+			}
+			if len(s.Lambdas) == 0 {
+				s.Lambdas = []float64{5}
+			}
+			if len(s.Sizes) == 0 {
+				s.Sizes = []int{30}
+			}
+			if len(s.Starts) == 0 {
+				// Start compressed around the food so the food phase is
+				// observable from the first snapshot.
+				s.Starts = []string{string(runner.StartSpiral)}
+			}
+		},
+		Run: runForage,
+	})
+	Register(Scenario{
 		Name:        "mixing",
 		Description: "integrated autocorrelation time of the perimeter series (empirical proxy for §3.7 mixing)",
 		Defaults: func(s *Spec) {
@@ -180,6 +218,7 @@ func runCompress(sp Spec, t Task) (Metrics, error) {
 		Engine:        t.Point.Engine,
 		Rule:          t.Point.Rule,
 		RuleStates:    ruleStatesFor(t.Point.Rule, sp.RuleStates),
+		Forage:        forageFor(sp, t.Point),
 		CrashFraction: t.Point.Crash,
 		Shards:        shardsFor(sp, t.Point),
 		SnapshotEvery: sp.SnapshotEvery,
@@ -228,6 +267,133 @@ func runCompress(sp Spec, t Task) (Metrics, error) {
 		}
 	}
 	return m, nil
+}
+
+// runForage drives a forage-rule run and measures the self-induced phase
+// change: the occupancy of the food disk over time. While food remains the
+// swarm compresses onto the disk (occupancy rises); once it is exhausted
+// the bias drops to λ_low and the swarm expands away (occupancy falls).
+func runForage(sp Spec, t Task) (Metrics, error) {
+	if t.Point.Rule != runner.RuleForage {
+		return nil, fmt.Errorf("scenario requires rule %q, got %q", runner.RuleForage, t.Point.Rule)
+	}
+	sched := forageFor(sp, t.Point)
+	resolved := sched.Normalized()
+	if resolved == nil {
+		r := runner.ForageSpec{}.WithDefaults()
+		resolved = &r
+	}
+	disk := foodDisk(*resolved)
+	iters := sp.Iterations
+	if iters == 0 {
+		// Equal time in the food phase and after exhaustion, so both
+		// regimes contribute snapshots.
+		iters = 2 * resolved.FoodSteps
+	}
+	every := sp.SnapshotEvery
+	if every == 0 {
+		every = iters / 16
+		if every == 0 {
+			every = 1
+		}
+	}
+	type occSample struct {
+		iter uint64
+		occ  float64
+	}
+	var samples []occSample
+	opts := runner.Options{
+		N:             t.Point.N,
+		Lambda:        t.Point.Lambda,
+		Iterations:    iters,
+		Seed:          t.Seed,
+		Start:         runner.StartShape(t.Point.Start),
+		Engine:        t.Point.Engine,
+		Rule:          t.Point.Rule,
+		Forage:        sched,
+		CrashFraction: t.Point.Crash,
+		Shards:        shardsFor(sp, t.Point),
+		SnapshotEvery: every,
+		SnapshotFunc:  t.OnSnapshot,
+		DeltaFunc: func(s runner.Snapshot, d runner.Delta) {
+			occ := 0
+			for _, p := range disk {
+				if d.Grid.Has(p) {
+					occ++
+				}
+			}
+			samples = append(samples, occSample{s.Iteration, float64(occ) / float64(len(disk))})
+		},
+		Interrupt: t.Interrupt,
+	}
+	var res *runner.Result
+	var err error
+	if t.Arena != nil {
+		res, err = t.Arena.Compress(opts)
+	} else {
+		res, err = runner.Compress(opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := Metrics{
+		"alpha":     res.Alpha,
+		"beta":      res.Beta,
+		"perimeter": float64(res.Perimeter),
+		"edges":     float64(res.Edges),
+		"moves":     float64(res.Moves),
+		"hole_free": b2f(res.HoleFree),
+	}
+	var foodSum, postSum float64
+	var foodN, postN int
+	for _, s := range samples {
+		m[fmt.Sprintf("food_occ@%d", s.iter)] = s.occ
+		if s.iter <= resolved.FoodSteps {
+			foodSum += s.occ
+			foodN++
+		} else {
+			postSum += s.occ
+			postN++
+		}
+	}
+	if len(samples) > 0 {
+		m["food_occ"] = samples[len(samples)-1].occ
+	}
+	if foodN > 0 {
+		m["food_occ_food_phase"] = foodSum / float64(foodN)
+	}
+	if postN > 0 {
+		m["food_occ_post_food"] = postSum / float64(postN)
+	}
+	for _, s := range res.Snapshots {
+		m[fmt.Sprintf("alpha@%d", s.Iteration)] = s.Alpha
+		if s.Bias > 0 {
+			m[fmt.Sprintf("bias@%d", s.Iteration)] = s.Bias
+		}
+	}
+	return m, nil
+}
+
+// foodDisk enumerates the lattice sites within the schedule's radius (hex
+// distance) of any food site — the region whose occupancy runForage
+// tracks. The hex ball of radius r is a subset of the axial square
+// [-r, r]², so scanning the square and filtering by distance is exact.
+func foodDisk(f runner.ForageSpec) []lattice.Point {
+	seen := make(map[lattice.Point]bool)
+	var disk []lattice.Point
+	for _, s := range f.Sites {
+		c := lattice.Point{X: s.X, Y: s.Y}
+		for dx := -f.Radius; dx <= f.Radius; dx++ {
+			for dy := -f.Radius; dy <= f.Radius; dy++ {
+				p := lattice.Point{X: c.X + dx, Y: c.Y + dy}
+				if p.Dist(c) <= f.Radius && !seen[p] {
+					seen[p] = true
+					disk = append(disk, p)
+				}
+			}
+		}
+	}
+	return disk
 }
 
 func runScaling(sp Spec, t Task) (Metrics, error) {

@@ -54,7 +54,7 @@ type Spec struct {
 	Starts []string `json:"starts"`
 	// Engines are execution engines: chain|kmc|amoebot.
 	Engines []string `json:"engines"`
-	// Rules are local rules: compression|align. Empty means compression
+	// Rules are local rules: compression|align|forage. Empty means compression
 	// only — the normalized Spec keeps the axis empty in that case (and
 	// collapses an explicit ["compression"] to empty), so experiment
 	// directories journaled before the rule axis existed keep resuming.
@@ -62,6 +62,12 @@ type Spec struct {
 	// RuleStates overrides the payload state count of rules that carry one
 	// (alignment's orientation count k); zero selects each rule's default.
 	RuleStates int `json:"rule_states,omitempty"`
+	// Forage configures the foraging bias schedule of forage-rule points
+	// (food sites, radius, exhaustion step, λ_low, epoch). Nil — and a
+	// schedule that resolves to the defaults, which normalization collapses
+	// back to nil so pre-schedule experiment directories keep resuming —
+	// selects the default schedule. Requires the forage rule on the axis.
+	Forage *runner.ForageSpec `json:"forage,omitempty"`
 	// CrashFractions are crash-failure fractions (amoebot engine only).
 	CrashFractions []float64 `json:"crash_fractions"`
 	// Shards > 1 runs every kMC-engine point with that many stripe shards
@@ -197,6 +203,25 @@ func (s Spec) normalized(sc Scenario) (Spec, error) {
 	if len(s.Rules) == 1 && s.Rules[0] == runner.RuleCompression {
 		s.Rules = nil
 	}
+	// The forage schedule: only meaningful with the forage rule on the
+	// axis, validated by compiling against a harmless λ, and collapsed to
+	// its canonical form (nil when it equals the default schedule) so
+	// spec.json stays byte-identical for every sweep that never set it.
+	if s.Forage != nil {
+		hasForage := false
+		for _, rn := range s.Rules {
+			if rn == runner.RuleForage {
+				hasForage = true
+			}
+		}
+		if !hasForage {
+			return s, fmt.Errorf("experiment: Forage schedule requires rule %q on the rules axis", runner.RuleForage)
+		}
+		if _, err := runner.NewRule(runner.RuleForage, 1, 0, s.Forage); err != nil {
+			return s, fmt.Errorf("experiment: %w", err)
+		}
+	}
+	s.Forage = s.Forage.Normalized()
 	if s.RuleStates < 0 {
 		return s, fmt.Errorf("experiment: RuleStates must be non-negative, got %d", s.RuleStates)
 	}

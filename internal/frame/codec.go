@@ -78,9 +78,14 @@ type Snap struct {
 	Energy    int
 	Alpha     float64
 	Beta      float64
-	HoleFree  bool
-	SVG       bool
-	Payloads  bool
+	// Bias is the schedule's λ at this instant for biased rules (0 for
+	// fixed-λ runs); on the wire it rides behind the bias flag bit, so
+	// records from fixed-λ runs carry no extra bytes and logs written
+	// before the field existed decode unchanged.
+	Bias     float64
+	HoleFree bool
+	SVG      bool
+	Payloads bool
 }
 
 // DefaultKeyframeEvery is the keyframe cadence: at most this many snapshot
@@ -152,6 +157,9 @@ func (e *Encoder) EncodeSnapshot(s Snap, moves []Move, tracked bool, g *grid.Gri
 	if s.Payloads {
 		flags |= flagPayloads
 	}
+	if s.Bias != 0 {
+		flags |= flagBias
+	}
 	kind := KindDelta
 	if key {
 		kind = KindKeyframe
@@ -164,6 +172,9 @@ func (e *Encoder) EncodeSnapshot(s Snap, moves []Move, tracked bool, g *grid.Gri
 	e.body = binary.AppendVarint(e.body, int64(s.Energy))
 	e.body = binary.LittleEndian.AppendUint64(e.body, math.Float64bits(s.Alpha))
 	e.body = binary.LittleEndian.AppendUint64(e.body, math.Float64bits(s.Beta))
+	if s.Bias != 0 {
+		e.body = binary.LittleEndian.AppendUint64(e.body, math.Float64bits(s.Bias))
+	}
 
 	if key {
 		e.pts = g.AppendPoints(e.pts[:0])
@@ -366,6 +377,11 @@ func (d *Decoder) decodeSnapshot(body []byte) (Record, error) {
 	}
 	if s.Beta, err = r.float64(); err != nil {
 		return Record{}, err
+	}
+	if flags&flagBias != 0 {
+		if s.Bias, err = r.float64(); err != nil {
+			return Record{}, err
+		}
 	}
 
 	if body[0] == KindKeyframe {

@@ -25,11 +25,13 @@
 //
 // Both snapshot kinds share a prelude of the frame's scalar metrics:
 //
-//	prelude  := flags seq iteration perimeter edges energy alpha beta
-//	flags    := 1 byte: bit0 hole_free, bit1 svg, bit2 payloads
+//	prelude  := flags seq iteration perimeter edges energy alpha beta bias?
+//	flags    := 1 byte: bit0 hole_free, bit1 svg, bit2 payloads, bit3 bias
 //	seq, iteration, perimeter, edges := uvarint
 //	energy   := varint (zigzag)
 //	alpha, beta := float64 bits, little endian (exact round trip)
+//	bias     := float64 bits, present only when bit3 is set — the bias
+//	            schedule's λ at the snapshot instant for biased rules
 //
 //	keyframe rest := uvarint(n) points[n] payload[n]?
 //	delta rest    := uvarint(r) points[r]             removed sites
@@ -79,6 +81,7 @@ const (
 	flagHoleFree byte = 1 << 0
 	flagSVG      byte = 1 << 1
 	flagPayloads byte = 1 << 2
+	flagBias     byte = 1 << 3
 )
 
 // maxRecordLen bounds a single record: parsing rejects anything larger, so

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sops/internal/config"
+	"sops/internal/rule"
 )
 
 // BenchmarkKMCEvent measures the cost of one applied kMC event (weighted
@@ -73,6 +74,29 @@ func BenchmarkKMCSharded(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkLambdaRefresh measures the engine half of a bias-epoch switch:
+// repricing every particle's slot weights at the epoch's λ(site) and
+// rebuilding the Fenwick tree from scratch. Biased rules pay this once per
+// epoch, so it bounds how short an epoch the schedule can afford; ns/op
+// divided by particles gives the per-particle refresh cost.
+func BenchmarkLambdaRefresh(b *testing.B) {
+	ru, err := rule.Forage(4, rule.ForageOptions{LambdaLow: 0.7, Radius: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			c := MustNewWithRule(config.Spiral(n), ru, 1)
+			c.Run(uint64(2 * n)) // roughen the boundary past the fresh build
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.advanceEpoch()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/particle")
+		})
 	}
 }
 

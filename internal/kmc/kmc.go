@@ -94,6 +94,17 @@ type Chain struct {
 	// to floating-point drift.
 	wj []float64
 
+	// Bias-epoch machinery (biased rules only). The effective λ is constant
+	// on [epoch, epochEnd); every maintained weight is priced at
+	// BiasAt(epoch, site), and Run never lets an event fire past epochEnd —
+	// advanceEpoch refreshes every cached weight when the boundary is
+	// crossed. lcache memoizes the pricing ladders per distinct λ. All zero
+	// for fixed-λ rules, whose wTab fast path is untouched.
+	biased   bool
+	epoch    uint64
+	epochEnd uint64
+	lcache   *rule.LadderCache
+
 	degreeGuard  bool
 	prop1, prop2 bool
 
@@ -129,8 +140,8 @@ func (c *Chain) SetMoveLog(l *frame.MoveLog) { c.mlog = l }
 // step-for-step comparable to internal/chain (the two consume randomness
 // differently) but agree in distribution.
 func New(sigma0 *config.Config, lambda float64, seed uint64, opts ...Option) (*Chain, error) {
-	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
-		return nil, fmt.Errorf("kmc: bias λ must be a positive finite number, got %v", lambda)
+	if err := rule.ValidateLambda(lambda); err != nil {
+		return nil, fmt.Errorf("kmc: %w", err)
 	}
 	c := &Chain{
 		lambda:      lambda,
@@ -181,6 +192,13 @@ func (c *Chain) init(sigma0 *config.Config, seed uint64) error {
 	c.rng = rand.New(c.pcg)
 	c.stateless = c.ru.Stateless()
 	c.slots = c.ru.Slots()
+	c.biased = c.ru.Biased()
+	c.lcache = nil
+	c.epoch, c.epochEnd = 0, 0
+	if c.biased {
+		c.lcache = rule.NewLadderCache(c.ru)
+		c.epochEnd = c.ru.BiasEpoch()
+	}
 	c.points = sigma0.Points()
 	c.g = grid.New(c.points, 0)
 	if !c.stateless {
@@ -226,6 +244,13 @@ func (c *Chain) Reset(pts []lattice.Point, ru *rule.Rule, seed uint64) error {
 	c.pcg.Seed(seed, rngStream)
 	c.stateless = ru.Stateless()
 	c.slots = ru.Slots()
+	c.biased = ru.Biased()
+	c.lcache = nil
+	c.epoch, c.epochEnd = 0, 0
+	if c.biased {
+		c.lcache = rule.NewLadderCache(ru)
+		c.epochEnd = ru.BiasEpoch()
+	}
 	c.points = append(c.points[:0], pts...)
 	c.g.Reset(c.points)
 	if !c.stateless {
@@ -293,9 +318,21 @@ func MustNewWithRule(sigma0 *config.Config, ru *rule.Rule, seed uint64) *Chain {
 // bit-identical weights.
 func (c *Chain) particleWeight(p lattice.Point) float64 {
 	if c.stateless {
+		if c.biased {
+			return c.weightFromWindowLd(c.g.Window(p), c.lcache.At(c.epoch, p))
+		}
 		return c.weightFromWindow(c.g.Window(p))
 	}
 	return c.particleWeightPay(p)
+}
+
+// ldAt returns the pricing ladder for the particle at p in the current
+// bias epoch, or nil for fixed-λ rules (the rule-table fast path).
+func (c *Chain) ldAt(p lattice.Point) *rule.Ladder {
+	if !c.biased {
+		return nil
+	}
+	return c.lcache.At(c.epoch, p)
 }
 
 // weightFromWindow computes a stateless particle's total weight from its
@@ -313,19 +350,39 @@ func (c *Chain) weightFromWindow(win grid.Window) float64 {
 	return sum
 }
 
+// weightFromWindowLd is weightFromWindow pricing through a bias ladder
+// instead of the fixed-λ table, with the identical direction-order fold.
+func (c *Chain) weightFromWindowLd(win grid.Window, ld *rule.Ladder) float64 {
+	pm := win.Packed()
+	empty := ^pm.NeighborMask() & (1<<lattice.NumDirs - 1)
+	var sum float64
+	for ; empty != 0; empty &= empty - 1 {
+		d := bits.TrailingZeros8(empty)
+		sum += ld.Weight(grid.Mask(uint8(pm >> (8 * d))))
+	}
+	return sum
+}
+
 // priceSlots fills ws (length Slots) with the payload particle's per-slot
 // weights in the canonical order — translation directions ascending, then
 // rotation targets ascending skipping the current state s — and returns
 // their sum. Every payload-path consumer (the maintained wj, the event
 // sampler, the observer APIs) goes through this one fold, so the "slot sum
-// equals wj[i]" invariant the sampler relies on holds bit-for-bit.
-func (c *Chain) priceSlots(p lattice.Point, s uint8, ws []float64) float64 {
+// equals wj[i]" invariant the sampler relies on holds bit-for-bit. ld is
+// the bias ladder for the particle's site in the current epoch; nil prices
+// through the rule's fixed-λ tables.
+func (c *Chain) priceSlots(p lattice.Point, s uint8, ws []float64, ld *rule.Ladder) float64 {
 	var sum float64
 	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
 		w := 0.0
 		if !c.g.Has(p.Neighbor(d)) {
 			if m := c.g.PairMask(p, d); c.ru.Allowed(m) {
-				w = c.ru.WeightPay(m, c.g.PairSame(p, d, m, s))
+				same := c.g.PairSame(p, d, m, s)
+				if ld != nil {
+					w = ld.WeightPay(m, same)
+				} else {
+					w = c.ru.WeightPay(m, same)
+				}
 			}
 		}
 		ws[d] = w
@@ -338,7 +395,11 @@ func (c *Chain) priceSlots(p lattice.Point, s uint8, ws []float64) float64 {
 			if uint8(t) == s {
 				continue
 			}
-			w := c.ru.RotWeight(c.ru.RotDelta(sameOld, c.g.SameNeighborMask(p, uint8(t))))
+			delta := c.ru.RotDelta(sameOld, c.g.SameNeighborMask(p, uint8(t)))
+			w := c.ru.RotWeight(delta)
+			if ld != nil {
+				w = ld.RotWeight(delta)
+			}
 			ws[j] = w
 			sum += w
 			j++
@@ -350,7 +411,7 @@ func (c *Chain) priceSlots(p lattice.Point, s uint8, ws []float64) float64 {
 // particleWeightPay prices a payload particle's slots through priceSlots
 // into a scratch buffer distinct from the event sampler's.
 func (c *Chain) particleWeightPay(p lattice.Point) float64 {
-	return c.priceSlots(p, c.g.Payload(p), c.payBuf)
+	return c.priceSlots(p, c.g.Payload(p), c.payBuf, c.ldAt(p))
 }
 
 // Rule returns the rule the chain runs.
@@ -400,15 +461,20 @@ func (c *Chain) SlotWeights(i int) [lattice.NumDirs]float64 {
 	var ws [lattice.NumDirs]float64
 	p := c.points[i]
 	if c.stateless {
+		ld := c.ldAt(p)
 		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
 			if !c.g.Has(p.Neighbor(d)) {
-				ws[d] = c.wTab[c.g.PairMask(p, d)]
+				if ld != nil {
+					ws[d] = ld.Weight(c.g.PairMask(p, d))
+				} else {
+					ws[d] = c.wTab[c.g.PairMask(p, d)]
+				}
 			}
 		}
 		return ws
 	}
 	buf := make([]float64, c.slots)
-	c.priceSlots(p, c.g.Payload(p), buf)
+	c.priceSlots(p, c.g.Payload(p), buf, c.ldAt(p))
 	copy(ws[:], buf[:lattice.NumDirs])
 	return ws
 }
@@ -422,7 +488,7 @@ func (c *Chain) RotationWeights(i int) []float64 {
 	}
 	p := c.points[i]
 	buf := make([]float64, c.slots)
-	c.priceSlots(p, c.g.Payload(p), buf)
+	c.priceSlots(p, c.g.Payload(p), buf, c.ldAt(p))
 	return buf[lattice.NumDirs:]
 }
 
@@ -532,10 +598,20 @@ func (c *Chain) fireTranslation(i int) {
 	var ws [lattice.NumDirs]float64
 	var sum float64
 	pm := c.g.Window(l).Packed()
-	for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
-		if pm.NeighborMask()>>d&1 == 0 {
-			ws[d] = c.wTab[uint8(pm>>(8*uint(d)))]
-			sum += ws[d]
+	if c.biased {
+		ld := c.lcache.At(c.epoch, l)
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			if pm.NeighborMask()>>d&1 == 0 {
+				ws[d] = ld.Weight(grid.Mask(uint8(pm >> (8 * uint(d)))))
+				sum += ws[d]
+			}
+		}
+	} else {
+		for d := lattice.Dir(0); d < lattice.NumDirs; d++ {
+			if pm.NeighborMask()>>d&1 == 0 {
+				ws[d] = c.wTab[uint8(pm>>(8*uint(d)))]
+				sum += ws[d]
+			}
 		}
 	}
 	v := c.rng.Float64() * sum
@@ -574,7 +650,12 @@ func (c *Chain) fireTranslation(i int) {
 	c.dirtyBuf = c.g.DirtyWindows(l, d, c.dirtyBuf[:0])
 	for _, cw := range c.dirtyBuf {
 		j := c.idx.at(cw.P)
-		w := c.weightFromWindow(cw.Win)
+		var w float64
+		if c.biased {
+			w = c.weightFromWindowLd(cw.Win, c.lcache.At(c.epoch, cw.P))
+		} else {
+			w = c.weightFromWindow(cw.Win)
+		}
 		if w != c.wj[j] {
 			c.fen.add(int(j), w-c.wj[j])
 			c.wj[j] = w
@@ -592,7 +673,7 @@ func (c *Chain) fireSlot(i int) {
 	// Recompute every slot weight through the canonical fold: their sum is
 	// the authoritative wj[i] by construction.
 	ws := c.slotBuf
-	sum := c.priceSlots(l, s, ws)
+	sum := c.priceSlots(l, s, ws, c.ldAt(l))
 
 	v := c.rng.Float64() * sum
 	slot := len(ws) - 1
@@ -654,8 +735,48 @@ func (c *Chain) fireSlot(i int) {
 
 // Run advances the chain by exactly n Metropolis-equivalent iterations and
 // returns the number of events applied. Partial holds carry across calls
-// (geometric memorylessness makes that exact).
+// (geometric memorylessness makes that exact). For biased rules, Run splits
+// n at bias-epoch boundaries: no event ever fires under a stale λ, and
+// advanceEpoch refreshes every cached weight when a boundary is crossed.
 func (c *Chain) Run(n uint64) uint64 {
+	if !c.biased {
+		return c.run(n)
+	}
+	var fired uint64
+	for n > 0 {
+		if c.steps >= c.epochEnd {
+			c.advanceEpoch()
+		}
+		chunk := c.epochEnd - c.steps
+		if chunk > n {
+			chunk = n
+		}
+		fired += c.run(chunk)
+		n -= chunk
+	}
+	return fired
+}
+
+// advanceEpoch moves the pricing epoch to the one containing the current
+// step and reprices every particle at its new λ(epoch, site): the wj are
+// recomputed from scratch, the Fenwick tree rebuilt exactly, and the
+// pending hold discarded. Discarding the hold is exact, not approximate:
+// the geometric hold is memoryless, so resampling it against the refreshed
+// total weight is exactly the Metropolis waiting time under the new bias.
+func (c *Chain) advanceEpoch() {
+	e := c.ru.BiasEpoch()
+	c.epoch = c.steps - c.steps%e
+	c.epochEnd = c.epoch + e
+	for i, p := range c.points {
+		c.wj[i] = c.particleWeight(p)
+	}
+	c.fen.rebuild(c.wj)
+	c.hold = 0
+	c.eventsSinceRebuild = 0
+}
+
+// run advances by n iterations within one bias epoch (or under a fixed λ).
+func (c *Chain) run(n uint64) uint64 {
 	var fired uint64
 	for n > 0 {
 		if c.hold == 0 {
@@ -674,6 +795,27 @@ func (c *Chain) Run(n uint64) uint64 {
 		}
 	}
 	return fired
+}
+
+// CheckWeightSums verifies every maintained per-particle weight against a
+// from-scratch recomputation (at the current bias epoch, for biased rules)
+// and the Fenwick total against their exact sum. Maintained weights come
+// from the same canonical folds the recomputation uses, so they must match
+// bit-for-bit; the tree total is allowed bounded floating-point drift. It
+// is a test/debug hook with O(n) cost.
+func (c *Chain) CheckWeightSums() error {
+	var sum float64
+	for i, p := range c.points {
+		w := c.particleWeight(p)
+		if w != c.wj[i] {
+			return fmt.Errorf("kmc: particle %d at %v: maintained weight %v, recomputed %v", i, p, c.wj[i], w)
+		}
+		sum += w
+	}
+	if got := c.fen.total(); math.Abs(got-sum) > 1e-9*math.Max(1, sum) {
+		return fmt.Errorf("kmc: fenwick total %v, exact slot sum %v", got, sum)
+	}
+	return nil
 }
 
 // RunUntil executes up to max equivalent iterations, invoking check every

@@ -22,6 +22,18 @@ func resetTestRules(t *testing.T) []struct {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The forage leg's food runs out at 20k of the 60k test steps, so a
+	// Reset into (and out of) a biased rule must rebuild the λ-epoch state
+	// and every cached weight, not just the occupancy.
+	forage, err := rule.Forage(5, rule.ForageOptions{
+		LambdaLow: 0.8,
+		Radius:    4,
+		FoodSteps: 20_000,
+		Epoch:     512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return []struct {
 		name string
 		ru   *rule.Rule
@@ -30,8 +42,10 @@ func resetTestRules(t *testing.T) []struct {
 	}{
 		{"compression-spiral", rule.Compression(4), config.Spiral(60).Points(), 7},
 		{"alignment-line", align, config.Line(25).Points(), 11},
+		{"forage-spiral", forage, config.Spiral(50).Points(), 19},
 		{"compression-line", rule.Compression(2), config.Line(90).Points(), 13},
 		{"alignment-spiral", align, config.Spiral(40).Points(), 17},
+		{"forage-line", forage, config.Line(35).Points(), 23},
 	}
 }
 

@@ -114,6 +114,12 @@ type stripe struct {
 	// partition the rows, so per-round concatenation in stripe order is a
 	// reordering of commuting (site-disjoint) moves.
 	mlog frame.MoveLog
+
+	// lcache is the stripe's private ladder cache (biased rules only). The
+	// parallel phase prices only sites in the stripe's own dependence zone,
+	// the epoch fields are read-only during it, and bias schedules are pure,
+	// so per-stripe caches make the phase race-free without locking.
+	lcache *rule.LadderCache
 }
 
 // Sharded is a stripe-decomposed rejection-free chain over a stateless
@@ -150,6 +156,16 @@ type Sharded struct {
 	roundSteps uint64
 	rounds     int
 
+	// Bias-epoch machinery (biased rules only), mirroring Chain: λ is
+	// constant on [epoch, epochEnd); Run clamps every super-round to the
+	// epoch remainder and rebuilds all weights on crossing. lcache serves
+	// sequential sections; each stripe carries its own for the parallel
+	// phase.
+	biased   bool
+	epoch    uint64
+	epochEnd uint64
+	lcache   *rule.LadderCache
+
 	steps, events, moves uint64
 	hval                 int
 	holesGone            bool
@@ -180,8 +196,8 @@ var dirDY = func() (dy [lattice.NumDirs]int) {
 // the requested number of shards (≥ 1; the effective count may be lower
 // when the configuration spans too few rows).
 func NewSharded(sigma0 *config.Config, lambda float64, seed uint64, shards int) (*Sharded, error) {
-	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
-		return nil, fmt.Errorf("kmc: bias λ must be a positive finite number, got %v", lambda)
+	if err := rule.ValidateLambda(lambda); err != nil {
+		return nil, fmt.Errorf("kmc: %w", err)
 	}
 	return NewShardedWithRule(sigma0, rule.Compression(lambda), seed, shards)
 }
@@ -213,6 +229,11 @@ func NewShardedWithRule(sigma0 *config.Config, ru *rule.Rule, seed uint64, shard
 	}
 	s.n = len(s.points)
 	s.wTab = ru.WeightTable()
+	if ru.Biased() {
+		s.biased = true
+		s.lcache = rule.NewLadderCache(ru)
+		s.epochEnd = ru.BiasEpoch()
+	}
 	s.g = grid.New(s.points, 0)
 	s.idx = newPindex(s.points)
 	s.hval = ru.Energy(s.g)
@@ -278,6 +299,9 @@ func (s *Sharded) reshard() {
 	s.stripes = s.stripes[:ns]
 	for j, st := range s.stripes {
 		st.id = j
+		if s.biased && st.lcache == nil {
+			st.lcache = rule.NewLadderCache(s.ru)
+		}
 		st.intLo, st.intHi = math.MinInt32, math.MaxInt32
 		if j > 0 {
 			st.intLo = s.cuts[j-1] + halo
@@ -309,8 +333,9 @@ func (s *Sharded) rebuildWeights() {
 		s.pos[i] = int32(len(st.members))
 		st.members = append(st.members, int32(i))
 		win := s.g.Window(p)
-		s.wInt[i] = s.weightInterior(win, p.Y, st)
-		s.wBnd[i] = s.weightBoundary(win, p.Y, st)
+		ld := s.ladderIn(s.lcache, p)
+		s.wInt[i] = s.weightInterior(win, p.Y, st, ld)
+		s.wBnd[i] = s.weightBoundary(win, p.Y, st, ld)
 		if s.wInt[i] != 0 {
 			st.fen.add(i, s.wInt[i])
 		}
@@ -340,10 +365,23 @@ func (st *stripe) interiorDir(y int, d int) bool {
 // active reports whether a particle on row y has any boundary slot.
 func (st *stripe) active(y int) bool { return y <= st.intLo || y >= st.intHi }
 
+// ladderIn returns the pricing ladder for the particle at p in the current
+// bias epoch from the given cache — the stripe's own during the parallel
+// phase, the engine's in sequential sections — or nil for fixed-λ rules.
+// The epoch fields are read-only while stripes run concurrently, so this is
+// phase-safe.
+func (s *Sharded) ladderIn(c *rule.LadderCache, p lattice.Point) *rule.Ladder {
+	if !s.biased {
+		return nil
+	}
+	return c.At(s.epoch, p)
+}
+
 // weightInterior sums the slot weights of the interior directions of a
 // particle on row y of stripe st, from its extracted window, in direction
-// order (fixed fold, bit-reproducible).
-func (s *Sharded) weightInterior(win grid.Window, y int, st *stripe) float64 {
+// order (fixed fold, bit-reproducible). ld is the site's bias ladder for
+// the current epoch; nil prices through the fixed-λ table.
+func (s *Sharded) weightInterior(win grid.Window, y int, st *stripe, ld *rule.Ladder) float64 {
 	if y < st.intLo || y > st.intHi {
 		return 0
 	}
@@ -353,14 +391,18 @@ func (s *Sharded) weightInterior(win grid.Window, y int, st *stripe) float64 {
 	for ; empty != 0; empty &= empty - 1 {
 		d := bits.TrailingZeros8(empty)
 		if ny := y + dirDY[d]; ny >= st.intLo && ny <= st.intHi {
-			sum += s.wTab[uint8(pm>>(8*d))]
+			if ld != nil {
+				sum += ld.Weight(grid.Mask(uint8(pm >> (8 * d))))
+			} else {
+				sum += s.wTab[uint8(pm>>(8*d))]
+			}
 		}
 	}
 	return sum
 }
 
 // weightBoundary sums the slot weights of the non-interior directions.
-func (s *Sharded) weightBoundary(win grid.Window, y int, st *stripe) float64 {
+func (s *Sharded) weightBoundary(win grid.Window, y int, st *stripe, ld *rule.Ladder) float64 {
 	if !st.active(y) {
 		return 0
 	}
@@ -370,25 +412,51 @@ func (s *Sharded) weightBoundary(win grid.Window, y int, st *stripe) float64 {
 	for ; empty != 0; empty &= empty - 1 {
 		d := bits.TrailingZeros8(empty)
 		if !st.interiorDir(y, d) {
-			sum += s.wTab[uint8(pm>>(8*d))]
+			if ld != nil {
+				sum += ld.Weight(grid.Mask(uint8(pm >> (8 * d))))
+			} else {
+				sum += s.wTab[uint8(pm>>(8*d))]
+			}
 		}
 	}
 	return sum
 }
 
 // Run advances the chain by exactly n Metropolis-equivalent iterations,
-// in super-rounds of at most roundSteps.
+// in super-rounds of at most roundSteps. For biased rules each round is
+// additionally clamped to the bias-epoch remainder, and every cached weight
+// is rebuilt when a boundary is crossed — the stripe merge included, since
+// the rebuild recomputes interior and boundary weights for every stripe.
 func (s *Sharded) Run(n uint64) uint64 {
 	var fired uint64
 	for n > 0 {
+		if s.biased && s.steps >= s.epochEnd {
+			s.advanceEpoch()
+		}
 		tau := s.roundSteps
 		if tau > n {
 			tau = n
+		}
+		if s.biased {
+			if rem := s.epochEnd - s.steps; tau > rem {
+				tau = rem
+			}
 		}
 		fired += s.runRound(tau)
 		n -= tau
 	}
 	return fired
+}
+
+// advanceEpoch moves the pricing epoch to the one containing the current
+// step and recomputes every interior and boundary weight (and all Fenwick
+// trees) at the new epoch's λ(·). Holds need no explicit reset: both phases
+// resample theirs at entry, which geometric memorylessness makes exact.
+func (s *Sharded) advanceEpoch() {
+	e := s.ru.BiasEpoch()
+	s.epoch = s.steps - s.steps%e
+	s.epochEnd = s.epoch + e
+	s.rebuildWeights()
 }
 
 // RunUntil executes up to max equivalent iterations, invoking check every
@@ -523,13 +591,20 @@ func (s *Sharded) fireInterior(st *stripe, allowGrow bool) bool {
 
 	l := s.points[i]
 	// Direction ∝ interior slot weight, freshly recomputed (the sum is
-	// the authoritative wInt[i] by construction).
+	// the authoritative wInt[i] by construction). Biased rules price
+	// through the stripe's private ladder cache — this runs in the
+	// parallel phase.
 	var ws [lattice.NumDirs]float64
 	var sum float64
 	pm := s.g.Window(l).Packed()
+	ld := s.ladderIn(st.lcache, l)
 	for d := 0; d < lattice.NumDirs; d++ {
 		if pm.NeighborMask()>>d&1 == 0 && st.interiorDir(l.Y, d) {
-			ws[d] = s.wTab[uint8(pm>>(8*d))]
+			if ld != nil {
+				ws[d] = ld.Weight(grid.Mask(uint8(pm >> (8 * d))))
+			} else {
+				ws[d] = s.wTab[uint8(pm>>(8*d))]
+			}
 			sum += ws[d]
 		}
 	}
@@ -601,7 +676,7 @@ func (s *Sharded) applyInterior(st *stripe, i int32, d lattice.Dir, allowGrow bo
 	st.dirtyBuf = s.g.DirtyWindows(l, d, st.dirtyBuf[:0])
 	for _, cw := range st.dirtyBuf {
 		j := s.idx.at(cw.P)
-		w := s.weightInterior(cw.Win, cw.P.Y, st)
+		w := s.weightInterior(cw.Win, cw.P.Y, st, s.ladderIn(st.lcache, cw.P))
 		if w != s.wInt[j] {
 			st.fen.add(int(j), w-s.wInt[j])
 			s.wInt[j] = w
@@ -641,7 +716,7 @@ func (s *Sharded) refreshBoundary(i int32) {
 	st := s.stripes[s.home[i]]
 	var w float64
 	if st.active(p.Y) {
-		w = s.weightBoundary(s.g.Window(p), p.Y, st)
+		w = s.weightBoundary(s.g.Window(p), p.Y, st, s.ladderIn(s.lcache, p))
 	}
 	if w != s.wBnd[i] {
 		s.bndFen.add(int(i), w-s.wBnd[i])
@@ -691,9 +766,14 @@ func (s *Sharded) fireBoundary() bool {
 	var ws [lattice.NumDirs]float64
 	var sum float64
 	pm := s.g.Window(l).Packed()
+	ld := s.ladderIn(s.lcache, l)
 	for d := 0; d < lattice.NumDirs; d++ {
 		if pm.NeighborMask()>>d&1 == 0 && !st.interiorDir(l.Y, d) {
-			ws[d] = s.wTab[uint8(pm>>(8*d))]
+			if ld != nil {
+				ws[d] = ld.Weight(grid.Mask(uint8(pm >> (8 * d))))
+			} else {
+				ws[d] = s.wTab[uint8(pm>>(8*d))]
+			}
 			sum += ws[d]
 		}
 	}
@@ -748,14 +828,15 @@ func (s *Sharded) fireBoundary() bool {
 	for _, cw := range s.dirtyBuf {
 		j := s.idx.at(cw.P)
 		stj := s.stripes[s.home[j]]
-		w := s.weightInterior(cw.Win, cw.P.Y, stj)
+		ldj := s.ladderIn(s.lcache, cw.P)
+		w := s.weightInterior(cw.Win, cw.P.Y, stj, ldj)
 		if w != s.wInt[j] {
 			stj.fen.add(int(j), w-s.wInt[j])
 			s.wInt[j] = w
 		}
 		var wb float64
 		if stj.active(cw.P.Y) {
-			wb = s.weightBoundary(cw.Win, cw.P.Y, stj)
+			wb = s.weightBoundary(cw.Win, cw.P.Y, stj, ldj)
 		}
 		if wb != s.wBnd[j] {
 			s.bndFen.add(int(j), wb-s.wBnd[j])
@@ -800,19 +881,25 @@ func (s *Sharded) CheckWeightSums() error {
 		}
 		st := s.stripes[j]
 		win := s.g.Window(p)
-		wi := s.weightInterior(win, p.Y, st)
-		wb := s.weightBoundary(win, p.Y, st)
+		ld := s.ladderIn(s.lcache, p)
+		wi := s.weightInterior(win, p.Y, st, ld)
+		wb := s.weightBoundary(win, p.Y, st, ld)
 		if math.Abs(wi-s.wInt[i]) > tol || math.Abs(wb-s.wBnd[i]) > tol {
 			return fmt.Errorf("particle %d: maintained weights (%g, %g), recomputed (%g, %g)",
 				i, s.wInt[i], s.wBnd[i], wi, wb)
 		}
-		// Full weight must match the unrestricted chain's classification.
+		// Full weight must match the unrestricted chain's classification
+		// (at the current epoch's bias, for biased rules).
 		pm := win.Packed()
 		empty := ^pm.NeighborMask() & (1<<lattice.NumDirs - 1)
 		var full float64
 		for ; empty != 0; empty &= empty - 1 {
 			d := bits.TrailingZeros8(empty)
-			full += s.wTab[uint8(pm>>(8*d))]
+			if ld != nil {
+				full += ld.Weight(grid.Mask(uint8(pm >> (8 * d))))
+			} else {
+				full += s.wTab[uint8(pm>>(8*d))]
+			}
 		}
 		if math.Abs((wi+wb)-full) > tol*(1+full) {
 			return fmt.Errorf("particle %d: interior %g + boundary %g ≠ full weight %g", i, wi, wb, full)

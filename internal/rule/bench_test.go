@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sops/internal/grid"
+	"sops/internal/lattice"
 )
 
 // BenchmarkRuleClassify measures the per-slot cost of rule-table dispatch:
@@ -33,6 +34,34 @@ func BenchmarkRuleClassify(b *testing.B) {
 			if r.Allowed(m) {
 				sink += r.AcceptPay(m, same) + r.WeightPay(m, same)
 			}
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkLambdaRefresh measures the rule-layer half of a bias-epoch
+// switch: rebuilding the full 256-entry acceptance/weight ladder plus the
+// rotation power table at a new λ ("rebuild"), and the memoized path a
+// schedule that revisits a λ takes ("cached"). Biased engines pay the
+// rebuild once per distinct λ and the cached lookup once per particle per
+// epoch, so both sit on the epoch-refresh critical path guarded in CI.
+func BenchmarkLambdaRefresh(b *testing.B) {
+	b.Run("rebuild", func(b *testing.B) {
+		r := Compression(4)
+		lams := [2]float64{5, 0.7}
+		for i := 0; i < b.N; i++ {
+			if _, err := r.LadderFor(lams[i&1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		ru := MustForage(5, ForageOptions{LambdaLow: 0.7, FoodSteps: 1 << 40})
+		c := NewLadderCache(ru)
+		site := lattice.Point{}
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += c.At(uint64(i), site).Lambda()
 		}
 		_ = sink
 	})

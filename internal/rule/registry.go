@@ -10,10 +10,13 @@ const (
 	// NameAlignment is the oriented-particle alignment chain:
 	// H(σ) = aligned edges, k orientation states, rotation moves.
 	NameAlignment = "align"
+	// NameForage is the foraging chain: compression's Hamiltonian under a
+	// food-driven time-varying/site-dependent bias.
+	NameForage = "forage"
 )
 
 // Names lists the built-in rule names.
-func Names() []string { return []string{NameCompression, NameAlignment} }
+func Names() []string { return []string{NameCompression, NameAlignment, NameForage} }
 
 // New constructs a built-in rule by name. The empty name selects
 // compression. states parameterizes rules with a payload (0 selects the
@@ -28,6 +31,11 @@ func New(name string, lambda float64, states int) (*Rule, error) {
 		return Compile(compressionDef(NameCompression, true, true, true), lambda)
 	case NameAlignment:
 		return Alignment(lambda, states)
+	case NameForage:
+		if states > 1 {
+			return nil, fmt.Errorf("rule: forage carries no payload states (got states=%d)", states)
+		}
+		return Forage(lambda, ForageOptions{})
 	default:
 		return nil, fmt.Errorf("rule: unknown rule %q (have %v)", name, Names())
 	}

@@ -81,7 +81,27 @@ type Def struct {
 	// tests pin the two against each other; observables (the alignment
 	// order parameter, e(σ) for compression) read it.
 	Energy func(g *grid.Grid) int
+	// Bias, when non-nil, makes the bias time-varying and site-dependent:
+	// it returns the effective λ governing proposals made by the particle
+	// currently at site, during the epoch containing step. Engines quantize
+	// time into epochs of BiasEvery steps (they call BiasAt, which rounds
+	// step down to its epoch start), so Bias only ever sees epoch-aligned
+	// steps and the rejection-free engines can hold weights fixed within an
+	// epoch. Bias must be a pure function, safe for concurrent use, and
+	// every λ it returns must satisfy ValidateLambda — ladder construction
+	// panics otherwise. Nil keeps the fixed-λ fast path.
+	Bias func(step uint64, site lattice.Point) float64
+	// BiasEvery is the bias epoch length in chain steps; 0 with Bias set
+	// selects DefaultBiasEvery. Ignored for fixed-λ rules.
+	BiasEvery uint64
+	// BiasProbe is the representative site at which snapshots report the
+	// effective bias λ(t) (e.g. a food site for foraging).
+	BiasProbe lattice.Point
 }
+
+// DefaultBiasEvery is the bias epoch length used when a Def declares a Bias
+// schedule without choosing one.
+const DefaultBiasEvery = 1024
 
 // Rule is a compiled rule: every guard and Hamiltonian evaluation is table
 // lookups. Rules are immutable after Compile and safe for concurrent use.
@@ -108,6 +128,28 @@ type Rule struct {
 	lamPowCap [2*deltaBound + 1]float64
 
 	energy func(g *grid.Grid) int
+
+	// Bias schedule (nil for fixed-λ rules); see Def.Bias.
+	bias      func(step uint64, site lattice.Point) float64
+	biasEvery uint64
+	biasProbe lattice.Point
+}
+
+// ValidateLambda reports whether λ can back a compiled power ladder: it must
+// be a positive finite number whose λ^±deltaBound stays finite and nonzero.
+// Without the ladder check, λ ≳ 1.6e30 silently overflows λ^deltaBound to
+// +Inf (and tiny λ underflow to 0), yielding Inf/NaN Metropolis acceptance
+// ratios and zero kMC slot weights.
+func ValidateLambda(lambda float64) error {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return fmt.Errorf("rule: bias λ must be a positive finite number, got %v", lambda)
+	}
+	for _, k := range [2]float64{deltaBound, -deltaBound} {
+		if p := math.Pow(lambda, k); p == 0 || math.IsInf(p, 0) {
+			return fmt.Errorf("rule: bias λ=%v overflows the power ladder (λ^%g = %v)", lambda, k, p)
+		}
+	}
+	return nil
 }
 
 // Compile validates a Def against bias λ and tabulates it.
@@ -115,8 +157,8 @@ func Compile(d Def, lambda float64) (*Rule, error) {
 	if d.Name == "" {
 		return nil, fmt.Errorf("rule: Def needs a name")
 	}
-	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
-		return nil, fmt.Errorf("rule: bias λ must be a positive finite number, got %v", lambda)
+	if err := ValidateLambda(lambda); err != nil {
+		return nil, err
 	}
 	states := d.States
 	if states < 1 {
@@ -140,6 +182,14 @@ func Compile(d Def, lambda float64) (*Rule, error) {
 		states:  states,
 		rotates: d.Rotates && states > 1,
 		energy:  d.Energy,
+	}
+	if d.Bias != nil {
+		r.bias = d.Bias
+		r.biasEvery = d.BiasEvery
+		if r.biasEvery == 0 {
+			r.biasEvery = DefaultBiasEvery
+		}
+		r.biasProbe = d.BiasProbe
 	}
 	for k := -deltaBound; k <= deltaBound; k++ {
 		r.lamPow[k+deltaBound] = math.Pow(lambda, float64(k))
@@ -199,8 +249,32 @@ func MustCompile(d Def, lambda float64) *Rule {
 // Name returns the rule's name.
 func (r *Rule) Name() string { return r.name }
 
-// Lambda returns the bias parameter λ.
+// Lambda returns the bias parameter λ. For biased rules it is the nominal
+// (compile-time) bias; the effective bias is BiasAt.
 func (r *Rule) Lambda() float64 { return r.lambda }
+
+// Biased reports whether the rule carries a time-varying/site-dependent
+// bias schedule. Unbiased rules keep the fixed-λ fast paths untouched.
+func (r *Rule) Biased() bool { return r.bias != nil }
+
+// BiasEpoch returns the bias epoch length in steps (0 for fixed-λ rules).
+// The effective bias is constant on [kE, (k+1)E); rejection-free engines
+// refresh their cached weights only at epoch boundaries.
+func (r *Rule) BiasEpoch() uint64 { return r.biasEvery }
+
+// BiasAt returns the effective bias λ for a proposal by the particle at
+// site during the epoch containing step. step is quantized to its epoch
+// start before the schedule sees it, so any step within an epoch yields the
+// same λ. For fixed-λ rules it returns Lambda.
+func (r *Rule) BiasAt(step uint64, site lattice.Point) float64 {
+	if r.bias == nil {
+		return r.lambda
+	}
+	return r.bias(step-step%r.biasEvery, site)
+}
+
+// BiasProbe returns the representative site snapshots report λ(t) at.
+func (r *Rule) BiasProbe() lattice.Point { return r.biasProbe }
 
 // States returns the number of per-particle payload states k (1 for
 // stateless rules).

@@ -40,6 +40,10 @@ type arenaRuleKey struct {
 	name   string
 	lambda float64
 	states int
+	// schedule is the bias-schedule identity (ForageSpec.cacheKey): two
+	// forage rules at equal (name, λ, states) but different food layouts
+	// compile to different rules and must not share a cache slot.
+	schedule string
 }
 
 type arenaStartKey struct {
@@ -65,7 +69,10 @@ func (a *Arena) Compress(opts Options) (*Result, error) {
 		return nil, err
 	}
 	if engine == EngineAmoebot || opts.Shards > 1 || opts.SnapshotSVG ||
-		opts.CrashFraction != 0 || opts.Workers > 1 {
+		opts.CrashFraction != 0 || opts.Workers > 1 || opts.DeltaFunc != nil {
+		// DeltaFunc needs the move-log/live-grid tap the arena's lean
+		// snapshot path does not wire; dropping the callback silently would
+		// starve delta consumers, so those runs take the plain path too.
 		return Compress(opts)
 	}
 	ru, err := a.ruleFor(opts)
@@ -102,6 +109,7 @@ func (a *Arena) Compress(opts Options) (*Result, error) {
 			Alpha:     metrics.Alpha(c.Perimeter(), opts.N),
 			Beta:      metrics.Beta(c.Perimeter(), opts.N),
 			HoleFree:  c.HoleFree(),
+			Bias:      snapBias(ru, done),
 		}
 		if opts.SnapshotFunc != nil {
 			opts.SnapshotFunc(s)
@@ -133,17 +141,28 @@ func (a *Arena) Compress(opts Options) (*Result, error) {
 // compiling it on first use. Rules are immutable after compilation, so
 // sharing one across runs (and engines) is sound.
 func (a *Arena) ruleFor(opts Options) (*rule.Rule, error) {
-	return a.Rule(opts.Rule, opts.Lambda, opts.RuleStates)
+	return a.ruleWith(opts.Rule, opts.Lambda, opts.RuleStates, opts.Forage)
 }
 
 // Rule returns the arena's cached compiled rule for (name, λ, states),
-// compiling on first use.
+// compiling on first use. Forage rules compile with the default schedule;
+// use ForageRule for an explicit one.
 func (a *Arena) Rule(name string, lambda float64, states int) (*rule.Rule, error) {
-	k := arenaRuleKey{name: name, lambda: lambda, states: states}
+	return a.ruleWith(name, lambda, states, nil)
+}
+
+// ForageRule returns the arena's cached foraging rule for (λ, schedule),
+// compiling on first use.
+func (a *Arena) ForageRule(lambda float64, spec *ForageSpec) (*rule.Rule, error) {
+	return a.ruleWith(RuleForage, lambda, 0, spec)
+}
+
+func (a *Arena) ruleWith(name string, lambda float64, states int, forage *ForageSpec) (*rule.Rule, error) {
+	k := arenaRuleKey{name: name, lambda: lambda, states: states, schedule: forage.cacheKey()}
 	if ru, ok := a.rules[k]; ok {
 		return ru, nil
 	}
-	ru, err := rule.New(name, lambda, states)
+	ru, err := NewRule(name, lambda, states, forage)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,220 @@
+package runner
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// forageSpec is the fixed food layout the cross-engine tests share: one
+// origin-centered disk whose scent covers the spiral start, exhausted
+// halfway through the budget.
+func forageSpec(food uint64) *ForageSpec {
+	return &ForageSpec{LambdaLow: 0.9, Radius: 5, FoodSteps: food, Epoch: 256}
+}
+
+type meanSampler struct{ xs [3][]float64 }
+
+func (s *meanSampler) add(vals ...float64) {
+	for i, v := range vals {
+		s.xs[i] = append(s.xs[i], v)
+	}
+}
+
+func (s *meanSampler) meanSE(i int) (mean, se float64) {
+	xs := s.xs[i]
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1) / float64(len(xs)))
+}
+
+// TestForageEnginesAgree is the full-stack leg of the foraging differential:
+// chain and kMC runs configured through Options (not raw engines) must agree
+// in distribution — mean final perimeter, edges, and moves within 4.5
+// combined standard errors — under a schedule that crosses both bias-epoch
+// boundaries and the λ switch mid-budget. The bound's calibration is
+// documented at kmc.TestDistributionMatchesMetropolis.
+func TestForageEnginesAgree(t *testing.T) {
+	reps := 20
+	if testing.Short() {
+		reps = 10
+	}
+	base := Options{
+		N:          16,
+		Lambda:     5,
+		Iterations: 6000,
+		Start:      StartSpiral,
+		Rule:       RuleForage,
+		Forage:     forageSpec(3000),
+	}
+	var ch, km meanSampler
+	for r := 0; r < reps; r++ {
+		opts := base
+		opts.Seed = uint64(r)*0x9e3779b9 + 41
+		opts.Engine = EngineChain
+		res, err := Compress(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch.add(float64(res.Perimeter), float64(res.Edges), float64(res.Moves))
+
+		opts.Engine = EngineKMC
+		opts.Seed += 0xabcdef
+		res, err = Compress(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		km.add(float64(res.Perimeter), float64(res.Edges), float64(res.Moves))
+	}
+	for mi, name := range [3]string{"perimeter", "edges", "moves"} {
+		m1, se1 := ch.meanSE(mi)
+		m2, se2 := km.meanSE(mi)
+		bound := 4.5 * math.Hypot(se1, se2)
+		if diff := math.Abs(m1 - m2); diff > bound {
+			t.Errorf("mean %s: chain %.3f±%.3f vs kmc %.3f±%.3f — |Δ|=%.3f exceeds %.3f",
+				name, m1, se1, m2, se2, diff, bound)
+		}
+	}
+}
+
+// TestForagePhaseChangeAcrossEngines pins the qualitative claim on every
+// engine, including the distributed amoebot leg (which is not equal in raw
+// activation-time distribution, so it gets the phase-change assertion rather
+// than the 4.5σ bound): while food lasts the λ_high scent keeps the swarm
+// compressed, and after exhaustion the λ_low≈1 phase expands it. The
+// snapshot bias trace must report the schedule's λ at each instant.
+func TestForagePhaseChangeAcrossEngines(t *testing.T) {
+	const (
+		food  = 20_000
+		iters = 40_000
+	)
+	for _, engine := range []string{EngineChain, EngineKMC, EngineAmoebot} {
+		reps := 5
+		var foodPerim, postPerim float64
+		for r := 0; r < reps; r++ {
+			res, err := Compress(Options{
+				N:             30,
+				Lambda:        5,
+				Iterations:    iters,
+				Seed:          uint64(r)*31 + 5,
+				Start:         StartSpiral,
+				Engine:        engine,
+				Rule:          RuleForage,
+				Forage:        &ForageSpec{LambdaLow: 1, Radius: 6, FoodSteps: food, Epoch: 1024},
+				SnapshotEvery: food,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", engine, err)
+			}
+			if len(res.Snapshots) != 2 {
+				t.Fatalf("%s: %d snapshots, want 2", engine, len(res.Snapshots))
+			}
+			// Step `food` itself quantizes into a food-phase epoch (the epoch
+			// grid is coarser than the exhaustion step), so the mid-run
+			// snapshot must still report λ_high; the final one λ_low.
+			if got := res.Snapshots[0].Bias; got != 5 {
+				t.Fatalf("%s: food-phase snapshot bias %g, want 5", engine, got)
+			}
+			if got := res.Snapshots[1].Bias; got != 1 {
+				t.Fatalf("%s: post-food snapshot bias %g, want 1", engine, got)
+			}
+			foodPerim += float64(res.Snapshots[0].Perimeter)
+			postPerim += float64(res.Snapshots[1].Perimeter)
+		}
+		foodPerim /= float64(reps)
+		postPerim /= float64(reps)
+		if foodPerim+2 >= postPerim {
+			t.Errorf("%s: no phase change: food-phase perimeter %.1f vs post-food %.1f",
+				engine, foodPerim, postPerim)
+		}
+	}
+}
+
+// TestForageArenaMatchesPlain extends the arena contract to biased rules:
+// forage tasks through a reused arena must reproduce the plain Compress
+// result exactly, and two tasks differing only in their schedule must not
+// share a cached rule (the rule key includes the schedule).
+func TestForageArenaMatchesPlain(t *testing.T) {
+	a := NewArena()
+	cases := []Options{
+		{N: 25, Lambda: 5, Iterations: 12_000, Seed: 3, Start: StartSpiral,
+			Rule: RuleForage, Forage: forageSpec(6000), SnapshotEvery: 4000},
+		// Same λ, different schedule: a schedule-blind rule cache would
+		// replay the first task's bias here.
+		{N: 25, Lambda: 5, Iterations: 12_000, Seed: 3, Start: StartSpiral,
+			Rule: RuleForage, Forage: &ForageSpec{LambdaLow: 0.7, Radius: 2, FoodSteps: 2000, Epoch: 512}},
+		// Default schedule via nil spec.
+		{N: 25, Lambda: 5, Iterations: 12_000, Seed: 3, Start: StartSpiral, Rule: RuleForage},
+		{N: 25, Lambda: 5, Iterations: 12_000, Seed: 3, Start: StartSpiral,
+			Rule: RuleForage, Forage: forageSpec(6000), Engine: EngineKMC},
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, opts := range cases {
+			want, err := Compress(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.Compress(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, g := *want, *got
+			if w.Rendering != "" && g.Rendering == "" {
+				w.Rendering = ""
+			}
+			if len(w.Snapshots) == 0 && len(g.Snapshots) == 0 {
+				w.Snapshots, g.Snapshots = nil, nil
+			}
+			if len(w.Points) == 0 && len(g.Points) == 0 {
+				w.Points, g.Points = nil, nil
+			}
+			if !reflect.DeepEqual(w, g) {
+				t.Fatalf("pass %d case %d: arena result diverged\n plain: %+v\n arena: %+v", pass, i, w, g)
+			}
+		}
+	}
+}
+
+// TestForageOptionsValidation: the schedule is rejected everywhere it cannot
+// apply, and normalization collapses an explicitly spelled-out default
+// schedule to the canonical nil so digests cannot fork.
+func TestForageOptionsValidation(t *testing.T) {
+	if _, err := Compress(Options{N: 10, Lambda: 4, Iterations: 100, Seed: 1, Forage: forageSpec(50)}); err == nil {
+		t.Error("Forage schedule accepted without Rule=forage")
+	}
+	if _, err := Compress(Options{N: 10, Lambda: 4, Iterations: 100, Seed: 1,
+		Rule: RuleForage, Forage: &ForageSpec{Radius: -2}}); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := Compress(Options{N: 10, Lambda: 1e31, Iterations: 100, Seed: 1, Rule: RuleForage}); err == nil {
+		t.Error("ladder-unsafe λ accepted")
+	}
+
+	def := (&ForageSpec{}).WithDefaults()
+	if got := def.Normalized(); got != nil {
+		t.Errorf("explicit default schedule normalized to %+v, want nil", got)
+	}
+	custom := &ForageSpec{Radius: 9}
+	norm := custom.Normalized()
+	if norm == nil || norm.Radius != 9 || norm.LambdaLow == 0 || norm.FoodSteps == 0 || norm.Epoch == 0 {
+		t.Errorf("custom schedule normalized to %+v, want defaults filled with radius 9", norm)
+	}
+
+	// Unbiased runs must leave the snapshot bias at its zero value so the
+	// field stays absent from their JSON.
+	res, err := Compress(Options{N: 10, Lambda: 4, Iterations: 1000, Seed: 1, SnapshotEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Snapshots {
+		if s.Bias != 0 {
+			t.Fatalf("unbiased run snapshot carries bias %g", s.Bias)
+		}
+	}
+}

@@ -47,6 +47,8 @@ const (
 	// RuleAlignment is the oriented-particle alignment chain
 	// (H(σ) = aligned edges, orientation payloads, rotation moves).
 	RuleAlignment = rule.NameAlignment
+
+	// RuleForage is declared in forage.go next to its schedule type.
 )
 
 // Rules lists every built-in rule name.
@@ -153,6 +155,10 @@ type Snapshot struct {
 	Alpha    float64 `json:"alpha"` // perimeter / pmin
 	Beta     float64 `json:"beta"`  // perimeter / pmax
 	HoleFree bool    `json:"hole_free"`
+	// Bias is the effective bias λ(t) at this instant for rules with a
+	// time-varying schedule, probed at the rule's reference site (a food
+	// site for forage). Zero — and omitted on the wire — for fixed-λ rules.
+	Bias float64 `json:"bias,omitempty"`
 	// SVG is a rendering of the configuration at this instant, filled only
 	// when Options.SnapshotSVG is set.
 	SVG string `json:"svg,omitempty"`
@@ -236,9 +242,13 @@ type Options struct {
 	// (rejection-free sequential engine), or EngineAmoebot (equivalent to
 	// Distributed).
 	Engine string `json:"engine,omitempty"`
-	// Rule selects the local rule: RuleCompression (default) or
-	// RuleAlignment. Every engine runs every rule.
+	// Rule selects the local rule: RuleCompression (default),
+	// RuleAlignment, or RuleForage. Every engine runs every rule.
 	Rule string `json:"rule,omitempty"`
+	// Forage configures the foraging bias schedule of RuleForage runs:
+	// food sites, radius, exhaustion step, λ_low, and epoch. Nil selects
+	// the default schedule; setting it with any other rule is an error.
+	Forage *ForageSpec `json:"forage,omitempty"`
 	// RuleStates overrides the payload state count of rules that carry one
 	// (alignment's orientation count k); zero selects the rule's default.
 	// Stateless rules reject an override.
@@ -336,7 +346,7 @@ func Compress(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ru, err := rule.New(opts.Rule, opts.Lambda, opts.RuleStates)
+	ru, err := NewRule(opts.Rule, opts.Lambda, opts.RuleStates, opts.Forage)
 	if err != nil {
 		return nil, err
 	}
@@ -380,7 +390,7 @@ func (o Options) Normalized() (Options, error) {
 	if o.Lambda <= 0 {
 		return o, fmt.Errorf("sops: Lambda must be positive, got %v", o.Lambda)
 	}
-	ru, err := rule.New(o.Rule, o.Lambda, o.RuleStates)
+	ru, err := NewRule(o.Rule, o.Lambda, o.RuleStates, o.Forage)
 	if err != nil {
 		return o, err
 	}
@@ -406,6 +416,7 @@ func (o Options) Normalized() (Options, error) {
 	if o.Rule == "" {
 		o.Rule = RuleCompression
 	}
+	o.Forage = o.Forage.Normalized()
 	o.Iterations = o.iterations()
 	if o.Workers < 2 {
 		o.Workers = 0
@@ -488,6 +499,7 @@ func compressSequential(engine string, opts Options, ru *rule.Rule, start *confi
 			Alpha:     metrics.Alpha(c.Perimeter(), opts.N),
 			Beta:      metrics.Beta(c.Perimeter(), opts.N),
 			HoleFree:  c.HoleFree(),
+			Bias:      snapBias(ru, done),
 		}, c.Config)
 	}, res); err != nil {
 		return nil, err
@@ -554,6 +566,7 @@ func compressDistributed(opts Options, ru *rule.Rule, start *config.Config) (*Re
 			Alpha:     metrics.Alpha(p, opts.N),
 			Beta:      metrics.Beta(p, opts.N),
 			HoleFree:  !cfg.HasHoles(),
+			Bias:      snapBias(ru, done),
 		}, func() *config.Config { return cfg })
 	}, res); err != nil {
 		return nil, err
@@ -639,6 +652,17 @@ func (sn *snapshotter) take(s Snapshot, cfg func() *config.Config) Snapshot {
 		})
 	}
 	return s
+}
+
+// snapBias evaluates the effective λ(t) of a biased rule at the snapshot
+// instant, probed at the rule's reference site (a food site for forage).
+// Zero for fixed-λ rules, so Snapshot.Bias stays off the wire and the
+// streaming format of pre-existing runs is unchanged.
+func snapBias(ru *rule.Rule, done uint64) float64 {
+	if !ru.Biased() {
+		return 0
+	}
+	return ru.BiasAt(done, ru.BiasProbe())
 }
 
 // runWithSnapshots splits total work into snapshot intervals, polling

@@ -1078,6 +1078,7 @@ func (m *Manager) runRun(ctx context.Context, h *handle) error {
 			Energy:    s.Energy,
 			Alpha:     s.Alpha,
 			Beta:      s.Beta,
+			Bias:      s.Bias,
 			HoleFree:  s.HoleFree,
 			SVG:       s.SVG != "",
 			Payloads:  d.Payloads,

@@ -89,6 +89,7 @@ func (t *FrameTranscoder) Transcode(rec []byte) ([]byte, error) {
 		Energy:    s.Energy,
 		Alpha:     s.Alpha,
 		Beta:      s.Beta,
+		Bias:      s.Bias,
 		HoleFree:  s.HoleFree,
 	}
 	if s.SVG {

@@ -48,7 +48,15 @@ const (
 	// RuleAlignment is the oriented-particle alignment chain: per-particle
 	// orientation spins, π(σ) ∝ λ^{aligned edges}, rotation moves.
 	RuleAlignment = runner.RuleAlignment
+	// RuleForage is the foraging chain (Oh–Richa style self-induced phase
+	// change): compression's Hamiltonian under a food-driven time-varying,
+	// site-dependent bias configured by Options.Forage.
+	RuleForage = runner.RuleForage
 )
+
+// ForageSpec configures the foraging bias schedule of RuleForage runs:
+// food sites, scent radius, exhaustion step, λ_low, and the bias epoch.
+type ForageSpec = runner.ForageSpec
 
 // Rules lists every built-in rule name.
 func Rules() []string { return runner.Rules() }
